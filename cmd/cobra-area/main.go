@@ -1,0 +1,60 @@
+// Command cobra-area prints the Fig. 8 / Fig. 9 area breakdowns: predictor
+// sub-component areas (including the generated management structures,
+// "meta") and whole-core areas for each of the paper's three designs.
+//
+// Usage:
+//
+//	cobra-area            # Fig. 8 for all three designs
+//	cobra-area -core      # Fig. 9 (whole core)
+//	cobra-area -design b2 # one design only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cobra"
+)
+
+func main() {
+	var (
+		core   = flag.Bool("core", false, "whole-core breakdown (Fig. 9) instead of predictor-only (Fig. 8)")
+		design = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
+	)
+	flag.Parse()
+
+	designs := cobra.Designs()
+	if *design != "" {
+		designs = nil
+		for _, d := range cobra.Designs() {
+			if d.Name == *design {
+				designs = []cobra.Design{d}
+			}
+		}
+		if designs == nil {
+			fmt.Fprintf(os.Stderr, "cobra-area: unknown design %q\n", *design)
+			os.Exit(1)
+		}
+	}
+	for _, d := range designs {
+		var (
+			bd  cobra.Breakdown
+			err error
+		)
+		if *core {
+			bd, err = cobra.CoreArea(d, cobra.DefaultCoreConfig())
+		} else {
+			bd, err = cobra.PredictorArea(d)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cobra-area:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bd.Render())
+		if kb, err := d.StorageKB(); err == nil && !*core {
+			fmt.Printf("  predictor storage: %.1f KB (Table I)\n", kb)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+// Command cobra-diagram renders the paper's pipeline diagrams as text:
+// Fig. 2 (the sub-component interface timing), Fig. 4 (the two example
+// topologies of §IV-A), and Fig. 7 (the three evaluated designs); or any
+// custom topology.
+//
+// Usage:
+//
+//	cobra-diagram -fig 2
+//	cobra-diagram -fig 4
+//	cobra-diagram -fig 7
+//	cobra-diagram -topology "TOURNEY3 > [GBIM2 > BTB2, LBIM2]"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cobra"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 7, "paper figure to render: 2, 4, or 7")
+		topo = flag.String("topology", "", "render a custom topology instead")
+	)
+	flag.Parse()
+
+	if *topo != "" {
+		render(cobra.Design{Name: "custom", Topology: *topo})
+		return
+	}
+	switch *fig {
+	case 2:
+		fmt.Print(cobra.InterfaceDiagram())
+	case 4:
+		fmt.Println("Fig. 4 — the two §IV-A topologies of {uBTB1, PHT2, LOOP2}:")
+		fmt.Println()
+		render(cobra.Design{Name: "topology-1", Topology: "LOOP2 > PHT2 > UBTB1"})
+		render(cobra.Design{Name: "topology-2", Topology: "UBTB1 > PHT2 > LOOP2"})
+	case 7:
+		fmt.Println("Fig. 7 — pipeline diagrams of the COBRA-generated predictors:")
+		fmt.Println()
+		for _, d := range cobra.Designs() {
+			render(d)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cobra-diagram: no figure %d (have 2, 4, 7)\n", *fig)
+		os.Exit(1)
+	}
+}
+
+func render(d cobra.Design) {
+	s, err := cobra.PipelineDiagram(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-diagram:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s)
+	fmt.Println()
+}

@@ -1,0 +1,83 @@
+// Command cobra-experiments regenerates every table and figure of the paper
+// plus the §VI discussion experiments and the ablations in DESIGN.md.
+//
+// Usage:
+//
+//	cobra-experiments -exp all -insts 2000000
+//	cobra-experiments -exp fig10
+//	cobra-experiments -exp table1,table2,d3
+//
+// Experiment ids: table1 table2 table3 fig8 fig9 fig10 d1 d2 d3 d4
+// tracegap ablation-loop ablation-ubtb ablation-meta all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cobra/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids")
+		insts  = flag.Uint64("insts", 1_000_000, "instructions per simulation run")
+		warmup = flag.Uint64("warmup", 0, "instructions discarded before measurement")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed}
+
+	all := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10",
+		"d1", "d2", "d3", "d4", "tracegap", "energy",
+		"shootout", "ablation-loop", "ablation-ubtb", "ablation-meta", "ablation-width"}
+	want := strings.Split(*exp, ",")
+	if *exp == "all" {
+		want = all
+	}
+	for _, id := range want {
+		switch strings.TrimSpace(id) {
+		case "table1":
+			fmt.Println(experiments.TableI())
+		case "table2":
+			fmt.Println(experiments.TableII())
+		case "table3":
+			fmt.Println(experiments.TableIII())
+		case "fig8":
+			fmt.Println(experiments.Fig8())
+		case "fig9":
+			fmt.Println(experiments.Fig9())
+		case "fig10":
+			_, t := experiments.Fig10(cfg)
+			fmt.Println(t)
+		case "d1":
+			fmt.Println(experiments.SerializedFetch(cfg))
+		case "d2":
+			fmt.Println(experiments.TageLatency(cfg))
+		case "d3":
+			fmt.Println(experiments.HistoryRepair(cfg))
+		case "d4":
+			fmt.Println(experiments.SFB(cfg))
+		case "tracegap":
+			fmt.Println(experiments.TraceGap(cfg))
+		case "energy":
+			fmt.Println(experiments.Energy(cfg))
+		case "ablation-loop":
+			fmt.Println(experiments.AblationLoop(cfg))
+		case "ablation-ubtb":
+			fmt.Println(experiments.AblationUBTB(cfg))
+		case "ablation-meta":
+			fmt.Println(experiments.AblationMetadata())
+		case "ablation-width":
+			fmt.Println(experiments.AblationWidth(cfg))
+		case "shootout":
+			fmt.Println(experiments.Shootout(cfg))
+		default:
+			fmt.Fprintf(os.Stderr, "cobra-experiments: unknown experiment %q (have %s)\n",
+				id, strings.Join(all, " "))
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command cobra-sim composes a predictor topology, attaches it to the
+// BOOM-like core, runs a workload, and prints the performance counters.
+//
+// Usage:
+//
+//	cobra-sim -design tage-l -workload gcc -insts 2000000
+//	cobra-sim -topology "GTAG3 > BTB2 > BIM2" -ghist 16 -workload mcf
+//	cobra-sim -design tourney -workload dhrystone -policy replay -sfb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cobra"
+	"cobra/internal/stats"
+)
+
+// printProviders reports which sub-component supplied the final direction
+// for committed branches (the provider hierarchy of §IV-A in action).
+func printProviders(res *cobra.Result) {
+	if len(res.ProviderHits) == 0 {
+		return
+	}
+	t := &stats.Table{Title: "direction providers (committed branches)",
+		Headers: []string{"component", "branches", "share"}}
+	var total uint64
+	for _, k := range stats.SortedKeys(res.ProviderHits) {
+		total += res.ProviderHits[k]
+	}
+	for _, k := range stats.SortedKeys(res.ProviderHits) {
+		n := res.ProviderHits[k]
+		t.AddRow(k, fmt.Sprintf("%d", n), fmt.Sprintf("%.1f%%", float64(n)/float64(total)*100))
+	}
+	fmt.Print(t)
+}
+
+func main() {
+	var (
+		design   = flag.String("design", "tage-l", "paper design: tage-l, b2, tourney (ignored with -topology)")
+		topology = flag.String("topology", "", "explicit topology string, e.g. \"GTAG3 > BTB2 > BIM2\"")
+		ghist    = flag.Uint("ghist", 64, "global history bits (with -topology)")
+		workload = flag.String("workload", "dhrystone", "workload name (SPECint proxy, dhrystone, coremark)")
+		insts    = flag.Uint64("insts", 1_000_000, "architectural instructions to simulate")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		policy   = flag.String("policy", "repair", "GHR policy: repair, replay, none (§VI-B)")
+		serial   = flag.Bool("serialized", false, "serialize fetch behind branches (§II-A)")
+		sfb      = flag.Bool("sfb", false, "enable short-forwards-branch predication (§VI-C)")
+		verbose  = flag.Bool("v", false, "print extended counters")
+	)
+	flag.Parse()
+
+	d, err := pickDesign(*design, *topology, *ghist, *policy)
+	if err != nil {
+		fatal(err)
+	}
+	core := cobra.DefaultCoreConfig()
+	core.SerializedFetch = *serial
+	core.SFB = *sfb
+
+	res, err := cobra.Run(cobra.RunConfig{
+		Design: d, Workload: *workload, MaxInsts: *insts, Seed: *seed, Core: &core,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design=%s topology=%q workload=%s\n", d.Name, d.Topology, *workload)
+	fmt.Println(res)
+	if *verbose {
+		printVerbose(res)
+		printProviders(res)
+	}
+}
+
+func pickDesign(name, topology string, ghist uint, policy string) (cobra.Design, error) {
+	var pol cobra.GHRPolicy
+	switch policy {
+	case "repair":
+		pol = cobra.GHRRepair
+	case "replay":
+		pol = cobra.GHRRepairReplay
+	case "none":
+		pol = cobra.GHRNoRepair
+	default:
+		return cobra.Design{}, fmt.Errorf("unknown -policy %q (repair, replay, none)", policy)
+	}
+	if topology != "" {
+		return cobra.Design{
+			Name:     "custom",
+			Topology: topology,
+			Opt:      cobra.PipelineOptions{GHistBits: ghist, GHRPolicy: pol},
+		}, nil
+	}
+	var d cobra.Design
+	switch name {
+	case "tage-l":
+		d = cobra.TAGEL()
+	case "b2":
+		d = cobra.B2()
+	case "tourney":
+		d = cobra.Tourney()
+	default:
+		return cobra.Design{}, fmt.Errorf("unknown -design %q (tage-l, b2, tourney)", name)
+	}
+	d.Opt.GHRPolicy = pol
+	return d, nil
+}
+
+func printVerbose(res *cobra.Result) {
+	t := &stats.Table{Headers: []string{"counter", "value"}}
+	t.AddRowf("cycles", res.Cycles)
+	t.AddRowf("instructions", res.Instructions)
+	t.AddRowf("branches", res.Branches)
+	t.AddRowf("jumps", res.Jumps)
+	t.AddRowf("indirect/returns", res.IndirectJumps)
+	t.AddRowf("mispredicts", res.Mispredicts)
+	t.AddRowf("  direction", res.DirMispredicts)
+	t.AddRowf("  target", res.TgtMispredicts)
+	t.AddRowf("fetch bubbles", res.FetchBubbles)
+	t.AddRowf("redirect flushes", res.RedirectFlushes)
+	t.AddRowf("history repairs", res.HistoryRepairs)
+	t.AddRowf("fetch replays", res.FetchReplays)
+	fmt.Print(t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-sim:", err)
+	os.Exit(1)
+}

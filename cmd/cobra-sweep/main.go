@@ -1,0 +1,126 @@
+// Command cobra-sweep runs design-space sweeps and emits CSV — the
+// productivity story of the paper's Fig. 1 flow ("design feedback") made
+// scriptable.  It crosses a set of topologies with a set of workloads and,
+// optionally, host configurations, reporting accuracy, IPC, storage, area,
+// and energy per point.
+//
+// Usage:
+//
+//	cobra-sweep -workloads gcc,mcf,leela \
+//	    -topologies "BIM2;GTAG3 > BTB2 > BIM2;LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"
+//	cobra-sweep -designs -workloads all -insts 500000 -host inorder
+//	cobra-sweep -tagesizes 512,1024,2048,4096 -workloads gcc
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cobra"
+	"cobra/internal/area"
+)
+
+func main() {
+	var (
+		topologies = flag.String("topologies", "", "semicolon-separated topology strings")
+		designsF   = flag.Bool("designs", false, "sweep the three Table I designs")
+		tageSizes  = flag.String("tagesizes", "", "comma-separated TAGE row counts to sweep inside the TAGE-L topology")
+		workloadsF = flag.String("workloads", "dhrystone", "comma-separated workloads, or 'all' for the SPECint proxies")
+		insts      = flag.Uint64("insts", 300_000, "instructions per point")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		ghist      = flag.Uint("ghist", 64, "global history bits for -topologies points")
+		host       = flag.String("host", "boom", "host core: boom (Table II) or inorder (scalar)")
+	)
+	flag.Parse()
+
+	var points []cobra.Design
+	switch {
+	case *designsF:
+		points = cobra.Designs()
+	case *tageSizes != "":
+		for _, s := range strings.Split(*tageSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fatal(fmt.Errorf("bad -tagesizes entry %q", s))
+			}
+			points = append(points, cobra.Design{
+				Name:     fmt.Sprintf("tage-l-%d", n),
+				Topology: fmt.Sprintf("LOOP3 > TAGE3(%d) > BTB2 > BIM2 > UBTB1", n),
+				Opt:      cobra.PipelineOptions{GHistBits: 64},
+			})
+		}
+	case *topologies != "":
+		for i, topo := range strings.Split(*topologies, ";") {
+			points = append(points, cobra.Design{
+				Name:     fmt.Sprintf("t%d", i),
+				Topology: strings.TrimSpace(topo),
+				Opt:      cobra.PipelineOptions{GHistBits: *ghist},
+			})
+		}
+	default:
+		points = cobra.Designs()
+	}
+
+	var ws []string
+	if *workloadsF == "all" {
+		ws = cobra.Workloads()
+	} else {
+		ws = strings.Split(*workloadsF, ",")
+	}
+
+	core := cobra.DefaultCoreConfig()
+	if *host == "inorder" {
+		core = cobra.InOrderCoreConfig()
+	} else if *host != "boom" {
+		fatal(fmt.Errorf("unknown -host %q", *host))
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	w.Write([]string{"design", "topology", "workload", "host",
+		"instructions", "cycles", "ipc", "mpki", "accuracy",
+		"bubble_frac", "storage_kb", "area_ku", "energy_eu_per_kinst"})
+
+	for _, d := range points {
+		kb, err := d.StorageKB()
+		if err != nil {
+			fatal(err)
+		}
+		bd, err := cobra.PredictorArea(d)
+		if err != nil {
+			fatal(err)
+		}
+		for _, wl := range ws {
+			bp, err := d.Build()
+			if err != nil {
+				fatal(err)
+			}
+			prog, err := cobra.Workload(strings.TrimSpace(wl))
+			if err != nil {
+				fatal(err)
+			}
+			res := cobra.NewCore(core, bp, prog, *seed).Run(*insts)
+			energy := area.Energy(bp)
+			w.Write([]string{
+				d.Name, d.Topology, strings.TrimSpace(wl), *host,
+				fmt.Sprint(res.Instructions), fmt.Sprint(res.Cycles),
+				fmt.Sprintf("%.4f", res.IPC()),
+				fmt.Sprintf("%.3f", res.MPKI()),
+				fmt.Sprintf("%.5f", res.Accuracy()),
+				fmt.Sprintf("%.4f", res.BubbleFrac()),
+				fmt.Sprintf("%.1f", kb),
+				fmt.Sprintf("%.1f", bd.Total()/1000),
+				fmt.Sprintf("%.0f", energy.PerKiloInst(res.Instructions)),
+			})
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-sweep:", err)
+	os.Exit(1)
+}

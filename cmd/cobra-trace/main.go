@@ -1,0 +1,85 @@
+// Command cobra-trace captures branch traces from workloads and runs the
+// trace-driven (ChampSim-style) evaluator over them — the §II-B software-
+// simulator methodology, provided so the modelling gap against the in-core
+// numbers is reproducible from the shell.
+//
+// Usage:
+//
+//	cobra-trace -capture -workload gcc -insts 2000000 -o gcc.cbrt
+//	cobra-trace -sim -design tage-l -i gcc.cbrt
+//	cobra-trace -capture -workload leela | cobra-trace -sim -design b2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cobra"
+)
+
+func main() {
+	var (
+		capture  = flag.Bool("capture", false, "capture a branch trace")
+		sim      = flag.Bool("sim", false, "run the trace-driven evaluator")
+		workload = flag.String("workload", "gcc", "workload to capture")
+		insts    = flag.Uint64("insts", 1_000_000, "instructions to capture")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		design   = flag.String("design", "tage-l", "design for -sim: tage-l, b2, tourney")
+		outPath  = flag.String("o", "", "output trace file (default stdout)")
+		inPath   = flag.String("i", "", "input trace file (default stdin)")
+	)
+	flag.Parse()
+	switch {
+	case *capture:
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		n, err := cobra.CaptureTrace(out, *workload, *seed, *insts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cobra-trace: captured %d control-flow records from %s\n", n, *workload)
+	case *sim:
+		in := os.Stdin
+		if *inPath != "" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		var d cobra.Design
+		switch *design {
+		case "tage-l":
+			d = cobra.TAGEL()
+		case "b2":
+			d = cobra.B2()
+		case "tourney":
+			d = cobra.Tourney()
+		default:
+			fatal(fmt.Errorf("unknown design %q", *design))
+		}
+		res, err := cobra.TraceSim(d, in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("design=%s cfis=%d branches=%d mispredicts=%d accuracy=%.2f%% (idealized trace conditions)\n",
+			d.Name, res.CFIs, res.Branches, res.Mispredicts, res.Accuracy()*100)
+	default:
+		fmt.Fprintln(os.Stderr, "cobra-trace: need -capture or -sim")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,267 @@
+package cobra
+
+import (
+	"fmt"
+	"io"
+
+	"cobra/internal/area"
+	"cobra/internal/commercial"
+	"cobra/internal/compose"
+	"cobra/internal/isa"
+	"cobra/internal/pred"
+	"cobra/internal/program"
+	"cobra/internal/stats"
+	"cobra/internal/trace"
+	"cobra/internal/uarch"
+	"cobra/internal/workloads"
+)
+
+// Re-exported building blocks of the public API.
+type (
+	// Pipeline is a composed predictor pipeline (§IV).
+	Pipeline = compose.Pipeline
+	// PipelineOptions configures the generated management structures.
+	PipelineOptions = compose.Options
+	// GHRPolicy selects the speculative-history repair policy (§VI-B).
+	GHRPolicy = compose.GHRPolicy
+	// Topology is a parsed predictor topology.
+	Topology = compose.Topology
+	// CoreConfig describes the host core (Table II).
+	CoreConfig = uarch.Config
+	// Core is the assembled BOOM-like machine.
+	Core = uarch.Core
+	// Result carries the performance counters of a run.
+	Result = stats.Sim
+	// Breakdown is an area report (Fig. 8 / Fig. 9).
+	Breakdown = area.Breakdown
+	// FetchConfig is the fetch-packet geometry shared by predictor and core.
+	FetchConfig = pred.Config
+	// Program is a synthetic workload image.
+	Program = program.Program
+	// TraceResult summarizes a trace-driven evaluation (§II-B comparison).
+	TraceResult = trace.SimResult
+	// CommercialSystem is a Table III commercial-core proxy.
+	CommercialSystem = commercial.System
+)
+
+// GHR repair policies (§VI-B).
+const (
+	GHRRepair       = compose.GHRRepair
+	GHRRepairReplay = compose.GHRRepairReplay
+	GHRNoRepair     = compose.GHRNoRepair
+)
+
+// Design names a predictor design point: a topology plus management
+// options.  The three constructors below reproduce Table I.
+type Design struct {
+	Name     string
+	Topology string
+	Opt      PipelineOptions
+}
+
+// TAGEL is the paper's "TAGE-L" design (Table I): a 7-table TAGE with a
+// loop corrector over a BTB + bimodal base and a single-cycle micro-BTB;
+// 64-bit global history.
+func TAGEL() Design {
+	return Design{
+		Name:     "tage-l",
+		Topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+		Opt:      PipelineOptions{GHistBits: 64},
+	}
+}
+
+// B2 is the original-BOOM-like design (Table I): one partially tagged
+// global table over a BTB + bimodal base; 16-bit global history.
+func B2() Design {
+	return Design{
+		Name:     "b2",
+		Topology: "GTAG3 > BTB2 > BIM2",
+		Opt:      PipelineOptions{GHistBits: 16},
+	}
+}
+
+// Tourney is the Alpha-21264-like design (Table I): a global-history
+// selector choosing between global- and local-history counter tables, with
+// a BTB on the global side; 32-bit global and 256 x 32-bit local histories.
+func Tourney() Design {
+	return Design{
+		Name:     "tourney",
+		Topology: "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+		Opt: PipelineOptions{
+			GHistBits:     32,
+			LocalEntries:  256,
+			LocalHistBits: 32,
+		},
+	}
+}
+
+// Designs returns the three evaluated designs in Table I order
+// (Tourney, B2, TAGE-L).
+func Designs() []Design { return []Design{Tourney(), B2(), TAGEL()} }
+
+// NewPipeline composes a predictor pipeline from a topology string using
+// the default 16-byte/4-wide fetch geometry.
+func NewPipeline(topology string, opt PipelineOptions) (*Pipeline, error) {
+	topo, err := compose.ParseTopology(topology)
+	if err != nil {
+		return nil, err
+	}
+	return compose.New(pred.DefaultConfig(), topo, opt)
+}
+
+// Build composes a Design into a pipeline.
+func (d Design) Build() (*Pipeline, error) { return NewPipeline(d.Topology, d.Opt) }
+
+// StorageKB returns the design's total predictor storage (Table I's
+// "Storage" column) in kilobytes: sub-components only, management excluded,
+// matching the paper's accounting.
+func (d Design) StorageKB() (float64, error) {
+	p, err := d.Build()
+	if err != nil {
+		return 0, err
+	}
+	bits := 0
+	for _, b := range p.ComponentBudgets() {
+		bits += b.TotalBits()
+	}
+	return float64(bits) / 8 / 1024, nil
+}
+
+// DefaultCoreConfig returns the Table II BOOM configuration.
+func DefaultCoreConfig() CoreConfig { return uarch.DefaultConfig() }
+
+// InOrderCoreConfig returns a scalar in-order (Rocket-class) host — the
+// second host-processor integration demonstrating that a composed pipeline
+// drops into any frontend (§IV-C).
+func InOrderCoreConfig() CoreConfig { return uarch.InOrderConfig() }
+
+// Workloads lists the SPECint17 proxy names in Fig. 10 order.
+func Workloads() []string { return workloads.Names() }
+
+// Workload builds a fresh instance of the named workload ("perlbench"...
+// "xz", "dhrystone", "coremark", or the interpreted-ISA kernels "sort",
+// "fib", "dispatch").  Programs are single-use: build one per simulation.
+func Workload(name string) (*Program, error) { return workloads.Get(name) }
+
+// CompileASM assembles a workload from RISC-style assembly text (see
+// internal/isa for the instruction set).  Branch outcomes in the resulting
+// program come from real register/memory semantics; like all programs, the
+// result is single-use.
+func CompileASM(name, src string) (*Program, error) {
+	p, _, err := isa.Compile(name, src)
+	return p, err
+}
+
+// RunConfig configures a full-core simulation.
+type RunConfig struct {
+	Design   Design
+	Workload string
+	MaxInsts uint64
+	Seed     uint64
+	// Core overrides the Table II core when non-nil.
+	Core *CoreConfig
+}
+
+// Run composes the design, attaches it to the core, runs the workload for
+// MaxInsts architectural instructions, and returns the counters.
+func Run(rc RunConfig) (*Result, error) {
+	if rc.MaxInsts == 0 {
+		rc.MaxInsts = 1_000_000
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 42
+	}
+	bp, err := rc.Design.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cobra: composing %s: %w", rc.Design.Name, err)
+	}
+	prog, err := workloads.Get(rc.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := uarch.DefaultConfig()
+	if rc.Core != nil {
+		cfg = *rc.Core
+	}
+	core := uarch.NewCore(cfg, bp, prog, rc.Seed)
+	return core.Run(rc.MaxInsts), nil
+}
+
+// NewCore assembles a core around an already-composed pipeline and program
+// (the low-level path used by the experiment harness).
+func NewCore(cfg CoreConfig, bp *Pipeline, prog *Program, seed uint64) *Core {
+	return uarch.NewCore(cfg, bp, prog, seed)
+}
+
+// PredictorArea reports the Fig. 8 per-sub-component area breakdown.
+func PredictorArea(d Design) (Breakdown, error) {
+	p, err := d.Build()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return area.Predictor(p), nil
+}
+
+// CoreArea reports the Fig. 9 whole-core area breakdown.
+func CoreArea(d Design, cfg CoreConfig) (Breakdown, error) {
+	p, err := d.Build()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return area.Core(p, cfg), nil
+}
+
+// PipelineDiagram renders the Fig. 4/7-style ASCII pipeline diagram.
+func PipelineDiagram(d Design) (string, error) {
+	p, err := d.Build()
+	if err != nil {
+		return "", err
+	}
+	return compose.Diagram(p), nil
+}
+
+// InterfaceDiagram renders the Fig. 2 interface timing diagram.
+func InterfaceDiagram() string { return compose.InterfaceDiagram(3) }
+
+// CaptureTrace writes a branch trace of the workload's first n instructions.
+func CaptureTrace(w io.Writer, workload string, seed, n uint64) (uint64, error) {
+	prog, err := workloads.Get(workload)
+	if err != nil {
+		return 0, err
+	}
+	return trace.Capture(w, prog, seed, n)
+}
+
+// TraceSim evaluates a design under idealized trace-driven conditions
+// (the ChampSim-style harness of §II-B).
+func TraceSim(d Design, r io.Reader) (TraceResult, error) {
+	p, err := d.Build()
+	if err != nil {
+		return TraceResult{}, err
+	}
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	return trace.Simulate(p, tr)
+}
+
+// CommercialSystems returns the Skylake/Graviton proxies of Table III.
+func CommercialSystems() []CommercialSystem { return commercial.Systems() }
+
+// RunCommercial runs a workload on a commercial proxy.
+func RunCommercial(sys CommercialSystem, workload string, maxInsts, seed uint64) (*Result, error) {
+	return Run(RunConfig{
+		Design:   Design{Name: sys.Name, Topology: sys.Topology, Opt: sys.Opt},
+		Workload: workload,
+		MaxInsts: maxInsts,
+		Seed:     seed,
+		Core:     &sys.Core,
+	})
+}
+
+// HarmonicMean re-exports the Fig. 10 HARMEAN summarizer.
+func HarmonicMean(xs []float64) (float64, bool) { return stats.HarmonicMean(xs) }
+
+// Table is the plain-text table renderer used by the harness and tools.
+type Table = stats.Table

@@ -1,0 +1,173 @@
+package cobra
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDesignsBuild(t *testing.T) {
+	for _, d := range Designs() {
+		p, err := d.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if p.Depth() != 3 {
+			t.Errorf("%s: depth = %d, want 3", d.Name, p.Depth())
+		}
+	}
+}
+
+func TestTableIStorageOrdering(t *testing.T) {
+	kb := map[string]float64{}
+	for _, d := range Designs() {
+		v, err := d.StorageKB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb[d.Name] = v
+		if v <= 0 {
+			t.Errorf("%s: zero storage", d.Name)
+		}
+	}
+	// Table I: TAGE-L (28 KB) is by far the largest; B2 (6.5) and Tourney
+	// (6.8) are comparable to each other.  Our absolute numbers for B2 and
+	// Tourney run higher because this implementation counts BTB tag+target
+	// storage, which the paper's storage column appears to exclude; the
+	// TAGE-L figure lands at the paper's 28 KB (see EXPERIMENTS.md).
+	if !(kb["tage-l"] > 1.5*kb["b2"] && kb["tage-l"] > 1.5*kb["tourney"]) {
+		t.Errorf("storage ordering off: %v", kb)
+	}
+	if kb["tage-l"] < 20 || kb["tage-l"] > 40 {
+		t.Errorf("TAGE-L storage %.1f KB far from the paper's 28 KB", kb["tage-l"])
+	}
+}
+
+func TestRunQuick(t *testing.T) {
+	res, err := Run(RunConfig{Design: B2(), Workload: "dhrystone", MaxInsts: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 50000 || res.IPC() <= 0 {
+		t.Errorf("bad result: %v", res)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(RunConfig{Design: B2(), Workload: "nope"}); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestRunBadTopology(t *testing.T) {
+	d := Design{Name: "bad", Topology: "NOSUCH9 >"}
+	if _, err := Run(RunConfig{Design: d, Workload: "dhrystone", MaxInsts: 1}); err == nil {
+		t.Error("bad topology must error")
+	}
+}
+
+func TestAreaAPIs(t *testing.T) {
+	bd, err := PredictorArea(TAGEL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() <= 0 {
+		t.Error("empty predictor breakdown")
+	}
+	cd, err := CoreArea(TAGEL(), DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Total() <= bd.Total() {
+		t.Error("core must dwarf its predictor")
+	}
+}
+
+func TestDiagrams(t *testing.T) {
+	s, err := PipelineDiagram(Tourney())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "TOURNEY3") {
+		t.Errorf("diagram missing root:\n%s", s)
+	}
+	if !strings.Contains(InterfaceDiagram(), "Fetch-0") {
+		t.Error("interface diagram malformed")
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := CaptureTrace(&buf, "dhrystone", 1, 20000)
+	if err != nil || n == 0 {
+		t.Fatalf("capture: n=%d err=%v", n, err)
+	}
+	res, err := TraceSim(B2(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branches == 0 {
+		t.Error("no branches in trace sim")
+	}
+}
+
+func TestCommercialSystems(t *testing.T) {
+	sys := CommercialSystems()
+	if len(sys) != 2 || sys[0].Name != "skylake" || sys[1].Name != "graviton" {
+		t.Fatalf("systems = %+v", sys)
+	}
+	res, err := RunCommercial(sys[1], "dhrystone", 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Error("commercial proxy did not run")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 10 {
+		t.Errorf("SPECint proxy count = %d, want 10", len(ws))
+	}
+	if ws[0] != "perlbench" || ws[9] != "xz" {
+		t.Errorf("unexpected order: %v", ws)
+	}
+}
+
+func TestInOrderHostThroughFacade(t *testing.T) {
+	core := InOrderCoreConfig()
+	res, err := Run(RunConfig{Design: B2(), Workload: "dhrystone", MaxInsts: 40000, Core: &core})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 || res.IPC() > 1.01 {
+		t.Errorf("in-order IPC = %.3f", res.IPC())
+	}
+}
+
+func TestCompileASMThroughFacade(t *testing.T) {
+	p, err := CompileASM("tiny", `
+start:
+    li r1, 0
+loop:
+    addi r1, r1, 1
+    li r2, 10
+    blt r1, r2, loop
+    j start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := B2().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewCore(DefaultCoreConfig(), bp, p, 1).Run(20000)
+	if res.Accuracy() < 0.85 {
+		t.Errorf("trivial counted loop accuracy = %.3f", res.Accuracy())
+	}
+	if _, err := CompileASM("bad", "nop"); err == nil {
+		t.Error("open-ended program must be rejected")
+	}
+}

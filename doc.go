@@ -1,0 +1,41 @@
+// Package cobra is a framework for evaluating compositions of hardware
+// branch predictors, reproducing "COBRA: A Framework for Evaluating
+// Compositions of Hardware Branch Predictors" (ISPASS 2021).
+//
+// The package offers the paper's three layers:
+//
+//   - a common sub-component interface (predict / fire / mispredict /
+//     repair / update events, pipelined latencies, superscalar prediction
+//     vectors, and an opaque metadata round-trip) with a component library —
+//     counter tables, BTBs, a micro-BTB, a tagged global table, TAGE, a
+//     tournament selector, a loop predictor, plus the §II-A lineage (GEHL,
+//     YAGS, gskew, perceptron), a statistical corrector, and ITTAGE-style
+//     indirect-target tables;
+//
+//   - a composer that turns a topological description such as
+//
+//     LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1
+//     TOURNEY3 > [GBIM2 > BTB2, LBIM2]
+//
+//     into a complete prediction pipeline with generated management
+//     structures: a history file, a forwards-walk repair state machine, and
+//     speculative global/local/path history providers;
+//
+//   - a host core: a cycle-level 4-wide out-of-order machine (Table II)
+//     whose fetch unit is driven by the composed pipeline, running
+//     synthetic SPECint17-proxy workloads against an architectural oracle,
+//     plus an analytic area model standing in for the synthesis flow and a
+//     trace-driven evaluator standing in for ChampSim-style simulators.
+//
+// Quick start:
+//
+//	res, err := cobra.Run(cobra.RunConfig{
+//	    Design:   cobra.TAGEL(),
+//	    Workload: "dhrystone",
+//	    MaxInsts: 1_000_000,
+//	})
+//	fmt.Printf("IPC=%.2f MPKI=%.2f\n", res.IPC(), res.MPKI())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package cobra

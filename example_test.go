@@ -1,0 +1,78 @@
+package cobra_test
+
+import (
+	"fmt"
+
+	"cobra"
+)
+
+// Compose a Table I design and inspect its structure.
+func ExampleDesign_Build() {
+	p, err := cobra.TAGEL().Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("topology:", p.Topo)
+	fmt.Println("depth:", p.Depth())
+	for _, c := range p.Components() {
+		fmt.Printf("  %-6s latency=%d\n", c.Name(), c.Latency())
+	}
+	// Output:
+	// topology: LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1
+	// depth: 3
+	//   UBTB1  latency=1
+	//   BIM2   latency=2
+	//   BTB2   latency=2
+	//   TAGE3  latency=3
+	//   LOOP3  latency=3
+}
+
+// Run a workload and read the counters.  (Numeric results depend on the
+// model's calibration, so only their presence is asserted here.)
+func ExampleRun() {
+	res, err := cobra.Run(cobra.RunConfig{
+		Design:   cobra.B2(),
+		Workload: "dhrystone",
+		MaxInsts: 50_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("committed >= 50k:", res.Instructions >= 50_000)
+	fmt.Println("has cycles:", res.Cycles > 0)
+	fmt.Println("branches predicted:", res.Branches > 0)
+	// Output:
+	// committed >= 50k: true
+	// has cycles: true
+	// branches predicted: true
+}
+
+// Parse the paper's arbitration notation.
+func ExampleNewPipeline() {
+	p, err := cobra.NewPipeline("TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+		cobra.PipelineOptions{GHistBits: 32})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Topo)
+	fmt.Println("generates local history provider:", p.Local != nil)
+	// Output:
+	// TOURNEY3 > [GBIM2 > BTB2, LBIM2]
+	// generates local history provider: true
+}
+
+// Assemble a custom workload.
+func ExampleCompileASM() {
+	_, err := cobra.CompileASM("counter", `
+start:
+    li r1, 0
+loop:
+    addi r1, r1, 1
+    li r2, 64
+    blt r1, r2, loop
+    j start
+`)
+	fmt.Println("assembled:", err == nil)
+	// Output:
+	// assembled: true
+}

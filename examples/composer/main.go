@@ -1,0 +1,48 @@
+// Composer walk-through: the Fig. 5 exercise.  The paper shows how a user
+// drives the composer to elaborate LOOP3 > TOURNEY3 > [GHT2, LHT2], and
+// §IV-A.1 lists three reasonable placements for the loop predictor.  This
+// example builds all three topologies, prints their pipeline diagrams, and
+// runs them head-to-head on a loop-heavy workload — the design-space
+// exploration COBRA exists to make cheap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cobra"
+)
+
+func main() {
+	// The three §IV-A.1 loop-predictor placements over a tournament core.
+	topologies := []string{
+		"TOURNEY3 > [(LOOP2 > GBIM2), LBIM2]",
+		"TOURNEY3 > [GBIM2, (LOOP2 > LBIM2)]",
+		"LOOP3 > TOURNEY3 > [GBIM2, LBIM2]",
+	}
+	opt := cobra.PipelineOptions{GHistBits: 32, LocalEntries: 256, LocalHistBits: 32}
+
+	for i, topo := range topologies {
+		d := cobra.Design{Name: fmt.Sprintf("variant-%d", i+1), Topology: topo, Opt: opt}
+		diagram, err := cobra.PipelineDiagram(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(diagram)
+
+		res, err := cobra.Run(cobra.RunConfig{
+			Design:   d,
+			Workload: "x264", // long predictable inner loops
+			MaxInsts: 500_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %s on x264 proxy: IPC=%.3f MPKI=%.2f acc=%.2f%%\n\n",
+			d.Name, res.IPC(), res.MPKI(), res.Accuracy()*100)
+	}
+
+	fmt.Println("Note how moving one sub-component re-wires the pipeline without")
+	fmt.Println("touching any other component — the composer synthesizes the staging,")
+	fmt.Println("history file, and repair machinery for every variant (§IV-B).")
+}

@@ -1,0 +1,37 @@
+// Quickstart: compose the paper's TAGE-L predictor, attach it to the 4-wide
+// BOOM-like core (Table II), run the Dhrystone proxy, and print the
+// performance counters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cobra"
+)
+
+func main() {
+	design := cobra.TAGEL()
+	fmt.Printf("design:   %s\n", design.Name)
+	fmt.Printf("topology: %s\n\n", design.Topology)
+
+	res, err := cobra.Run(cobra.RunConfig{
+		Design:   design,
+		Workload: "dhrystone",
+		MaxInsts: 1_000_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instructions: %d\n", res.Instructions)
+	fmt.Printf("cycles:       %d\n", res.Cycles)
+	fmt.Printf("IPC:          %.3f\n", res.IPC())
+	fmt.Printf("MPKI:         %.2f\n", res.MPKI())
+	fmt.Printf("accuracy:     %.2f%%\n", res.Accuracy()*100)
+	fmt.Printf("bubbles:      %.1f%% of cycles\n", res.BubbleFrac()*100)
+
+	if kb, err := design.StorageKB(); err == nil {
+		fmt.Printf("storage:      %.1f KB (Table I: 28 KB)\n", kb)
+	}
+}

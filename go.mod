@@ -1,0 +1,3 @@
+module cobra
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package area is the physical-design substitute for the paper's Cadence
+// Genus synthesis flow (Fig. 8 and Fig. 9 report post-synthesis area on a
+// commercial FinFET process, which is unavailable here).
+//
+// The model is analytic but driven by the same storage parameters the RTL
+// would synthesize from: every sub-component and management structure
+// reports an sram.Budget (memories with entries/width/ports, plus flop
+// bits), and the model converts those to area units using standard
+// cost ratios — an SRAM bit costs 1 unit, extra ports multiply the bit
+// cell, each macro pays a fixed periphery overhead, and a flop bit costs
+// ~4x an SRAM bit.  Absolute units are arbitrary ("kU" = thousands of
+// units ~ bit-equivalents); Fig. 8/9 convey *relative* breakdowns, which
+// survive this normalization.
+package area
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cobra/internal/compose"
+	"cobra/internal/sram"
+	"cobra/internal/uarch"
+)
+
+// Cost ratios (bit-equivalents).
+const (
+	sramBitCost    = 1.0
+	flopBitCost    = 4.0
+	portMultiplier = 0.45  // each port beyond 1R1W multiplies the array
+	macroOverhead  = 600.0 // decoder/sense periphery per SRAM macro
+	logicPerMeta   = 0.12  // comparator/mux logic per metadata/datapath bit
+)
+
+// Item is one named area contribution.
+type Item struct {
+	Name  string
+	Units float64
+}
+
+// Breakdown is an ordered area report.
+type Breakdown struct {
+	Title string
+	Items []Item
+}
+
+// Total sums the contributions.
+func (b Breakdown) Total() float64 {
+	var t float64
+	for _, it := range b.Items {
+		t += it.Units
+	}
+	return t
+}
+
+// Sorted returns items largest first.
+func (b Breakdown) Sorted() []Item {
+	out := append([]Item(nil), b.Items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Units > out[j].Units })
+	return out
+}
+
+// Render prints the breakdown with percentage bars (the textual Fig. 8/9).
+func (b Breakdown) Render() string {
+	var sb strings.Builder
+	total := b.Total()
+	if b.Title != "" {
+		fmt.Fprintf(&sb, "%s (total %.1f kU)\n", b.Title, total/1000)
+	}
+	for _, it := range b.Items {
+		frac := 0.0
+		if total > 0 {
+			frac = it.Units / total
+		}
+		bar := strings.Repeat("#", int(frac*50+0.5))
+		fmt.Fprintf(&sb, "  %-14s %8.1f kU %5.1f%% %s\n", it.Name, it.Units/1000, frac*100, bar)
+	}
+	return sb.String()
+}
+
+// OfBudget converts one storage budget to area units.
+func OfBudget(b sram.Budget) float64 {
+	var u float64
+	for _, m := range b.Mems {
+		ports := m.ReadPorts + m.WritePorts
+		mult := 1.0
+		if ports > 2 {
+			mult += portMultiplier * float64(ports-2)
+		}
+		u += float64(m.Bits())*sramBitCost*mult + macroOverhead
+	}
+	u += float64(b.FlopBits) * flopBitCost
+	return u
+}
+
+// Predictor produces the Fig. 8 breakdown for a composed pipeline: one bar
+// segment per sub-component plus "meta" for the generated management
+// structures (history file + history providers).
+func Predictor(p *compose.Pipeline) Breakdown {
+	bd := Breakdown{Title: fmt.Sprintf("Predictor area: %s", p.Topo)}
+	budgets := p.ComponentBudgets()
+	names := make([]string, 0, len(budgets))
+	for n := range budgets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := budgets[n]
+		u := OfBudget(b)
+		// Tagged components pay comparator/metadata logic proportional to
+		// their datapath.
+		u += float64(b.TotalBits()) * logicPerMeta
+		bd.Items = append(bd.Items, Item{Name: n, Units: u})
+	}
+	bd.Items = append(bd.Items, Item{Name: "meta", Units: OfBudget(p.ManagementBudget())})
+	return bd
+}
+
+// Core produces the Fig. 9 breakdown: the predictor inside a complete
+// 4-wide out-of-order core.  Non-predictor component areas are analytic
+// constants derived from the same bit-accounting style (structure sizes per
+// the uarch config), with logic-dominated units (issue queues, rename,
+// FUs) weighted by published BOOM relative areas.
+func Core(p *compose.Pipeline, cfg uarch.Config) Breakdown {
+	bd := Breakdown{Title: fmt.Sprintf("Core area with %s", p.Topo)}
+	pu := Predictor(p).Total()
+	bd.Items = append(bd.Items, Item{Name: "branch-pred", Units: pu})
+
+	cacheBits := func(sets, ways, line int) float64 {
+		dataBits := float64(sets * ways * line * 8)
+		tagBits := float64(sets * ways * 28)
+		return dataBits + tagBits + macroOverhead*float64(ways)
+	}
+	// Frontend: I-cache + fetch buffer + decode.
+	icache := cacheBits(64, 8, 64) // 32 KB
+	bd.Items = append(bd.Items, Item{Name: "icache", Units: icache})
+	bd.Items = append(bd.Items, Item{Name: "decode", Units: 30000 * float64(cfg.DecodeWidth)})
+	// Execute: ROB, rename/issue (logic heavy), register files, FUs.
+	bd.Items = append(bd.Items, Item{
+		Name:  "rob",
+		Units: float64(cfg.ROBEntries) * 160 * flopBitCost,
+	})
+	// Issue queues are CAM/logic dominated (the paper notes the critical
+	// paths live here); weight well above plain flop cost.
+	bd.Items = append(bd.Items, Item{
+		Name:  "issue-units",
+		Units: float64(cfg.IQEntries*3) * 110 * flopBitCost * 5,
+	})
+	// Physical register files pay heavily for their many ports.
+	bd.Items = append(bd.Items, Item{
+		Name:  "regfiles",
+		Units: float64((cfg.ROBEntries+64)*(64+64)) * 6,
+	})
+	bd.Items = append(bd.Items, Item{
+		Name:  "int-fus",
+		Units: float64(cfg.NumALU)*26000 + 30000, // ALUs + mul/div
+	})
+	bd.Items = append(bd.Items, Item{
+		Name:  "fp-units",
+		Units: float64(cfg.NumFP) * 110000, // FMA pipelines dominate logic
+	})
+	// LSU + L1 D-cache (the L2 lives outside the core tile, as in BOOM).
+	bd.Items = append(bd.Items, Item{
+		Name:  "lsu",
+		Units: float64(cfg.LDQEntries+cfg.STQEntries) * 120 * flopBitCost * 3,
+	})
+	bd.Items = append(bd.Items, Item{Name: "dcache", Units: cacheBits(cfg.L1Sets, cfg.L1Ways, cfg.LineBytes)})
+	return bd
+}

@@ -1,0 +1,149 @@
+package area
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/compose"
+	"cobra/internal/pred"
+	"cobra/internal/sram"
+	"cobra/internal/uarch"
+)
+
+func pipe(t *testing.T, topo string) *compose.Pipeline {
+	t.Helper()
+	p, err := compose.New(pred.DefaultConfig(), compose.MustParse(topo), compose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOfBudgetMonotone(t *testing.T) {
+	small := sram.Budget{Mems: []sram.Spec{{Name: "a", Entries: 64, Width: 2, ReadPorts: 1, WritePorts: 1}}}
+	big := sram.Budget{Mems: []sram.Spec{{Name: "a", Entries: 4096, Width: 2, ReadPorts: 1, WritePorts: 1}}}
+	if OfBudget(big) <= OfBudget(small) {
+		t.Error("bigger memory must cost more")
+	}
+	// Extra ports multiply the cell.
+	multi := small
+	multi.Mems = []sram.Spec{{Name: "a", Entries: 64, Width: 2, ReadPorts: 2, WritePorts: 2}}
+	if OfBudget(multi) <= OfBudget(small) {
+		t.Error("extra ports must cost area (the §III-D argument for metadata)")
+	}
+	// Flops are pricier than SRAM bits.
+	fl := sram.Budget{FlopBits: 128}
+	sr := sram.Budget{Mems: []sram.Spec{{Name: "a", Entries: 2, Width: 64, ReadPorts: 1, WritePorts: 1}}}
+	if OfBudget(fl) <= OfBudget(sr)-macroOverhead {
+		t.Error("flop bits should cost more than SRAM bits")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tageL := Predictor(pipe(t, "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"))
+	b2 := Predictor(pipe(t, "GTAG3 > BTB2(256) > BIM2"))
+	tourney := Predictor(pipe(t, "TOURNEY3 > [GBIM2 > BTB2(256), LBIM2]"))
+
+	if !(tageL.Total() > b2.Total() && tageL.Total() > tourney.Total()) {
+		t.Errorf("TAGE-L (%.0f) must be the largest (B2 %.0f, Tourney %.0f)",
+			tageL.Total(), b2.Total(), tourney.Total())
+	}
+	// Management structures ("meta") are a non-trivial fraction (the paper
+	// calls this out explicitly).
+	for _, bd := range []Breakdown{tageL, b2, tourney} {
+		var meta float64
+		for _, it := range bd.Items {
+			if it.Name == "meta" {
+				meta = it.Units
+			}
+		}
+		if meta <= 0 || meta/bd.Total() < 0.02 {
+			t.Errorf("%s: meta fraction %.3f implausibly small", bd.Title, meta/bd.Total())
+		}
+	}
+	// The tournament's local history provider makes its meta bigger than
+	// B2's (Fig. 8 discussion).
+	metaOf := func(bd Breakdown) float64 {
+		for _, it := range bd.Items {
+			if it.Name == "meta" {
+				return it.Units
+			}
+		}
+		return 0
+	}
+	if metaOf(tourney) <= metaOf(b2) {
+		t.Error("tournament meta (local history provider) should exceed B2 meta")
+	}
+}
+
+func TestFig9PredictorIsSmallFraction(t *testing.T) {
+	p := pipe(t, "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1")
+	core := Core(p, uarch.DefaultConfig())
+	var bp float64
+	for _, it := range core.Items {
+		if it.Name == "branch-pred" {
+			bp = it.Units
+		}
+	}
+	frac := bp / core.Total()
+	// "The total area of even a large predictor design is only a small
+	// portion of the area of a large superscalar out-of-order core."
+	if frac <= 0 || frac > 0.35 {
+		t.Errorf("predictor fraction = %.2f; should be a modest slice of the core", frac)
+	}
+}
+
+func TestRender(t *testing.T) {
+	bd := Predictor(pipe(t, "GTAG3 > BTB2 > BIM2"))
+	out := bd.Render()
+	for _, want := range []string{"GTAG3", "BTB2", "BIM2", "meta", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	s := bd.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i].Units > s[i-1].Units {
+			t.Error("Sorted not descending")
+		}
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	p := pipe(t, "GTAG3 > BTB2 > BIM2")
+	// Drive a few queries/commits so memories accumulate accesses.
+	for i := uint64(0); i < 50; i++ {
+		p.Tick(i)
+		e, _ := p.Predict(i, 0x1000+i*16)
+		if e == nil {
+			t.Fatal("stall")
+		}
+		p.Commit(i, e)
+	}
+	rep := Energy(p)
+	if rep.Total() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	if rep.PerKiloInst(200) <= 0 {
+		t.Error("per-kinst normalization broken")
+	}
+	var names []string
+	for _, it := range rep.Items {
+		names = append(names, it.Name)
+		if it.Reads == 0 {
+			t.Errorf("%s recorded no reads", it.Name)
+		}
+	}
+	if len(names) != 3 {
+		t.Errorf("expected 3 SRAM-backed components, got %v", names)
+	}
+	if !strings.Contains(rep.Render(), "GTAG3") {
+		t.Error("render missing component")
+	}
+	// Bigger arrays must cost more per access.
+	small := accessEnergy(sram.Spec{Entries: 64, Width: 2})
+	big := accessEnergy(sram.Spec{Entries: 65536, Width: 2})
+	if big <= small {
+		t.Error("access energy must grow with array size")
+	}
+}

@@ -1,0 +1,99 @@
+package bitutil
+
+// FoldedHistory incrementally maintains an n-bit fold of the most recent
+// histLen bits of a shift-register history, exactly as the circular-shift
+// registers in TAGE hardware do.  Shifting a new bit in and the oldest bit
+// out updates the fold in O(1) instead of re-XORing the whole history.
+//
+// The fold is defined as the XOR of consecutive width-bit chunks of the
+// history, where chunk i covers history bits [i*width, (i+1)*width).  The
+// invariant Fold() == FoldBits(history, histLen, width) is checked by
+// property tests.
+type FoldedHistory struct {
+	folded   uint64
+	histLen  uint // number of history bits covered
+	width    uint // output width in bits
+	outPoint uint // bit position within the fold where the oldest bit leaves
+}
+
+// NewFoldedHistory returns a folded history covering histLen bits of history
+// compressed to width bits. width must be in [1, 32]; histLen may be 0 (the
+// fold is then constant 0).
+func NewFoldedHistory(histLen, width uint) *FoldedHistory {
+	if width == 0 || width > 32 {
+		panic("bitutil: folded history width must be in [1,32]")
+	}
+	return &FoldedHistory{
+		histLen:  histLen,
+		width:    width,
+		outPoint: histLen % width,
+	}
+}
+
+// Width returns the output width in bits.
+func (f *FoldedHistory) Width() uint { return f.width }
+
+// HistLen returns the number of history bits covered by the fold.
+func (f *FoldedHistory) HistLen() uint { return f.histLen }
+
+// Fold returns the current folded value.
+func (f *FoldedHistory) Fold() uint64 { return f.folded }
+
+// Update shifts newBit into the history and oldBit (the bit that is histLen
+// positions old, i.e. the one leaving the window) out, maintaining the fold.
+func (f *FoldedHistory) Update(newBit, oldBit bool) {
+	if f.histLen == 0 {
+		return
+	}
+	h := f.folded
+	// Rotate left by one within width.
+	h = (h << 1) | (h >> (f.width - 1))
+	h &= Mask(f.width)
+	// New bit enters at position 0.
+	if newBit {
+		h ^= 1
+	}
+	// Old bit leaves at outPoint.
+	if oldBit {
+		h ^= 1 << f.outPoint
+	}
+	f.folded = h & Mask(f.width)
+}
+
+// Set recomputes the fold from a full history vector (bit 0 = most recent).
+// Used when restoring from a snapshot.
+func (f *FoldedHistory) Set(hist []uint64) {
+	f.folded = FoldBits(hist, f.histLen, f.width)
+}
+
+// SetRaw directly restores a previously captured fold value.
+func (f *FoldedHistory) SetRaw(v uint64) { f.folded = v & Mask(f.width) }
+
+// FoldBits computes the reference (non-incremental) fold of the low histLen
+// bits of hist (bit 0 of hist[0] = most recent outcome) down to width bits:
+// the history bit of age a contributes to fold bit a%width, i.e. the XOR of
+// consecutive width-bit chunks of the history window.  FoldedHistory.Update
+// maintains exactly this value incrementally; the equivalence is verified by
+// property tests.
+func FoldBits(hist []uint64, histLen, width uint) uint64 {
+	if width == 0 || histLen == 0 {
+		return 0
+	}
+	var out uint64
+	for a := uint(0); a < histLen; a++ {
+		if HistBit(hist, a) {
+			out ^= 1 << (a % width)
+		}
+	}
+	return out
+}
+
+// HistBit returns bit `age` of a multi-word history vector (bit 0 of word 0
+// is the most recent outcome).
+func HistBit(hist []uint64, age uint) bool {
+	w := age / 64
+	if int(w) >= len(hist) {
+		return false
+	}
+	return (hist[w]>>(age%64))&1 == 1
+}

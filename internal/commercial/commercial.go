@@ -1,0 +1,84 @@
+// Package commercial provides the proxy configurations standing in for the
+// Intel Skylake and AWS Graviton datapoints of Fig. 10 / Table III.
+//
+// Substitution rationale (DESIGN.md): the paper measures real silicon with
+// perf counters; here each commercial core is modelled as a bigger/wider
+// configuration of the same simulator with a state-of-the-art-class
+// predictor, serving the same role the real cores served in the paper — an
+// accuracy/IPC yardstick above the BOOM design points.  As the paper itself
+// notes, the comparison is approximate ("due to different ISAs" there, due
+// to modelling here).
+package commercial
+
+import (
+	"cobra/internal/compose"
+	"cobra/internal/uarch"
+)
+
+// System is one evaluated machine of Table III.
+type System struct {
+	Name     string
+	Topology string
+	Opt      compose.Options
+	Core     uarch.Config
+}
+
+// Skylake returns the Skylake-class proxy: a large TAGE + loop + statistical
+// corrector predictor (TAGE-SC-L class, matching what is publicly surmised
+// of Intel's predictors) on a wide, deep core with big caches.
+func Skylake() System {
+	cfg := uarch.DefaultConfig()
+	cfg.DecodeWidth = 6
+	cfg.CommitWidth = 6
+	cfg.ROBEntries = 224
+	cfg.IQEntries = 64
+	cfg.NumALU = 6
+	cfg.NumMem = 3
+	cfg.NumFP = 3
+	cfg.LDQEntries = 72
+	cfg.STQEntries = 56
+	cfg.FetchBufferCap = 32
+	cfg.L1Sets = 128  // 64 KB
+	cfg.L2Sets = 2048 // 1 MB
+	cfg.MemLat = 60   // 24 MB L3 behind it
+	return System{
+		Name:     "skylake",
+		Topology: "SCOR3(4096) > LOOP3(512) > TAGE3(16384) > BTB2(2048) > BIM2(8192) > UBTB1(64)",
+		Opt: compose.Options{
+			GHistBits: 128,
+			HFEntries: 64,
+			GHRPolicy: compose.GHRRepairReplay,
+		},
+		Core: cfg,
+	}
+}
+
+// Graviton returns the Graviton-class proxy (Cortex-A72-like): a 3-wide
+// core with a solid but smaller hybrid predictor.
+func Graviton() System {
+	cfg := uarch.DefaultConfig()
+	cfg.DecodeWidth = 3
+	cfg.CommitWidth = 3
+	cfg.ROBEntries = 128
+	cfg.IQEntries = 48
+	cfg.NumALU = 3
+	cfg.NumMem = 2
+	cfg.NumFP = 2
+	cfg.FetchBufferCap = 24
+	cfg.L1Sets = 64   // 32 KB D-cache (Table III: Graviton 48K I / 32K D)
+	cfg.L2Sets = 4096 // 2 MB
+	cfg.MemLat = 110  // no L3
+	return System{
+		Name:     "graviton",
+		Topology: "TAGE3 > BTB2(1024) > BIM2(4096) > UBTB1(48)",
+		Opt: compose.Options{
+			GHistBits: 64,
+			HFEntries: 48,
+			GHRPolicy: compose.GHRRepairReplay,
+		},
+		Core: cfg,
+	}
+}
+
+// Systems returns the commercial proxies in Table III order.
+func Systems() []System { return []System{Skylake(), Graviton()} }

@@ -1,0 +1,56 @@
+package commercial
+
+import (
+	"testing"
+
+	"cobra/internal/compose"
+	"cobra/internal/pred"
+	"cobra/internal/uarch"
+	"cobra/internal/workloads"
+)
+
+func TestSystemsBuildAndRun(t *testing.T) {
+	for _, sys := range Systems() {
+		p, err := compose.New(pred.DefaultConfig(), compose.MustParse(sys.Topology), sys.Opt)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		prog, err := workloads.Get("dhrystone")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := uarch.NewCore(sys.Core, p, prog, 7).Run(30000)
+		if res.IPC() <= 0 {
+			t.Errorf("%s: zero IPC", sys.Name)
+		}
+	}
+}
+
+func TestSkylakeOutclassesGraviton(t *testing.T) {
+	// The Skylake proxy is the wider, deeper machine: given the same
+	// workload it must deliver higher IPC (its Fig. 10 role).
+	run := func(sys System) float64 {
+		p, err := compose.New(pred.DefaultConfig(), compose.MustParse(sys.Topology), sys.Opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _ := workloads.Get("exchange2")
+		return uarch.NewCore(sys.Core, p, prog, 7).Run(60000).IPC()
+	}
+	if sk, gr := run(Skylake()), run(Graviton()); sk <= gr {
+		t.Errorf("skylake IPC (%.3f) should exceed graviton (%.3f)", sk, gr)
+	}
+}
+
+func TestSystemConfigsAreDistinct(t *testing.T) {
+	sk, gr := Skylake(), Graviton()
+	if sk.Core.DecodeWidth <= gr.Core.DecodeWidth {
+		t.Error("skylake should be wider")
+	}
+	if sk.Core.ROBEntries <= gr.Core.ROBEntries {
+		t.Error("skylake should be deeper")
+	}
+	if sk.Opt.GHistBits <= gr.Opt.GHistBits {
+		t.Error("skylake should carry longer history")
+	}
+}

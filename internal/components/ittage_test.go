@@ -1,0 +1,136 @@
+package components
+
+import (
+	"testing"
+
+	"cobra/internal/history"
+	"cobra/internal/pred"
+)
+
+// itHarness drives an ITTAGE with a live global history, simulating a
+// context-dependent indirect jump.
+type itHarness struct {
+	g   *history.Global
+	it  *ITTAGE
+	cfg pred.Config
+}
+
+func newITHarness() *itHarness {
+	g := history.NewGlobal(64)
+	return &itHarness{
+		g:   g,
+		it:  NewITTAGE(pred.DefaultConfig(), g, DefaultITTAGEParams("itgt")),
+		cfg: pred.DefaultConfig(),
+	}
+}
+
+// step predicts the indirect at (pc, slot), commits the actual target, and
+// shifts hist (the surrounding branch context) into the GHR.
+func (h *itHarness) step(pc uint64, slot int, target uint64, ctx bool) (predicted uint64, hit bool) {
+	q := &pred.Query{PC: pc, GHist: h.g.Bits(64), GRaw: h.g.Raw()}
+	r := h.it.Predict(q)
+	p := r.Overlay[slot]
+	predicted, hit = p.Target, p.TgtValid
+	slots := make([]pred.SlotInfo, h.cfg.FetchWidth)
+	slots[slot] = pred.SlotInfo{
+		Valid: true, IsIndir: true, Taken: true, Target: target,
+		PC:           h.cfg.SlotPC(pc, slot),
+		Mispredicted: !hit || predicted != target,
+	}
+	meta := append([]uint64(nil), r.Meta...)
+	h.it.Update(&pred.Event{PC: pc, Meta: meta, Slots: slots})
+	h.g.Shift(ctx)
+	return predicted, hit
+}
+
+func TestITTAGELearnsContextDependentTargets(t *testing.T) {
+	h := newITHarness()
+	pc := uint64(0x1000)
+	// Target depends on the most recent branch outcome: ctx=true -> 0x4000,
+	// ctx=false -> 0x5000.  A plain BTB cannot track this; history-tagged
+	// target tables can.
+	correct, total := 0, 0
+	ctx := false
+	for i := 0; i < 4000; i++ {
+		target := uint64(0x5000)
+		if ctx { // context shifted last iteration decides this target
+			target = 0x4000
+		}
+		predicted, hit := h.step(pc, 1, target, i%2 == 0)
+		if i >= 2000 {
+			total++
+			if hit && predicted == target {
+				correct++
+			}
+		}
+		ctx = i%2 == 0
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("ITTAGE context-target accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestITTAGESilentWithoutTraining(t *testing.T) {
+	h := newITHarness()
+	r := h.it.Predict(&pred.Query{PC: 0x2000})
+	for i, p := range r.Overlay {
+		if p.TgtValid || p.DirValid {
+			t.Errorf("slot %d: fresh ITTAGE must stay silent", i)
+		}
+	}
+}
+
+func TestITTAGETargetOnlyOverride(t *testing.T) {
+	h := newITHarness()
+	pc := uint64(0x3000)
+	for i := 0; i < 50; i++ {
+		h.step(pc, 2, 0x7000, true)
+	}
+	r := h.it.Predict(&pred.Query{PC: pc, GHist: h.g.Bits(64)})
+	p := r.Overlay[2]
+	if !p.TgtValid {
+		t.Fatal("expected a target hit after training")
+	}
+	if p.DirValid {
+		t.Error("ITTAGE must not assert directions (§III-F partial prediction)")
+	}
+	if p.Kind != pred.KindIndirect {
+		t.Errorf("kind = %v", p.Kind)
+	}
+}
+
+func TestITTAGERegistryAndConformance(t *testing.T) {
+	c, err := Build(env(), "ITGT3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Latency() != 3 || c.Budget().TotalBits() <= 0 {
+		t.Error("registry-built ITTAGE misconfigured")
+	}
+	if _, err := Build(Env{Cfg: cfg(), Global: history.NewGlobal(8)}, "ITGT3"); err == nil {
+		t.Error("short GHR must be rejected")
+	}
+	small, err := Build(env(), "ITGT3(192)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Budget().TotalBits() >= c.Budget().TotalBits() {
+		t.Error("scaled-down ITTAGE should be smaller")
+	}
+}
+
+func TestITTAGEPackRoundTrip(t *testing.T) {
+	g := history.NewGlobal(64)
+	it := NewITTAGE(pred.DefaultConfig(), g, DefaultITTAGEParams("itgt"))
+	tb := it.tables[0]
+	cfgv := pred.DefaultConfig()
+	base := uint64(0x1230)
+	row := tb.pack(cfgv, base, 0x55, 2, 3, 0x4564)
+	tag, conf, slot, target := tb.unpack(cfgv, base, row)
+	if tag != 0x55 || conf != 2 || slot != 3 || target != 0x4564 {
+		t.Errorf("round trip: tag=%#x conf=%d slot=%d target=%#x", tag, conf, slot, target)
+	}
+}

@@ -1,0 +1,170 @@
+package components
+
+import (
+	"testing"
+
+	"cobra/internal/pred"
+)
+
+// percHarness drives a perceptron with an explicit history register.
+type percHarness struct {
+	p     *Perceptron
+	ghist uint64
+	cfg   pred.Config
+}
+
+func newPercHarness(histLen uint) *percHarness {
+	return &percHarness{
+		p: NewPerceptron(pred.DefaultConfig(), PerceptronParams{
+			Name: "perc", Entries: 64, HistLen: histLen,
+		}),
+		cfg: pred.DefaultConfig(),
+	}
+}
+
+func (h *percHarness) step(pc uint64, outcome bool) bool {
+	r := h.p.Predict(&pred.Query{PC: pc, GHist: h.ghist})
+	predTaken := r.Overlay[0].Taken
+	slots := make([]pred.SlotInfo, h.cfg.FetchWidth)
+	slots[0] = pred.SlotInfo{Valid: true, IsBranch: true, Taken: outcome, PC: pc}
+	meta := append([]uint64(nil), r.Meta...)
+	h.p.Update(&pred.Event{PC: pc, GHist: h.ghist, Meta: meta, Slots: slots})
+	h.ghist <<= 1
+	if outcome {
+		h.ghist |= 1
+	}
+	return predTaken == outcome
+}
+
+func TestPerceptronLearnsLinearlySeparable(t *testing.T) {
+	// Outcome = history bit 2 (a single weight suffices).
+	h := newPercHarness(16)
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		outcome := h.ghist>>2&1 == 1
+		ok := h.step(0x1000, outcome)
+		if i >= 1000 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.97 {
+		t.Errorf("perceptron accuracy on single-bit correlation = %.3f", acc)
+	}
+}
+
+func TestPerceptronLearnsMajorityVote(t *testing.T) {
+	// Outcome = majority of last 3 outcomes — linearly separable.
+	h := newPercHarness(16)
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		cnt := int(h.ghist&1) + int(h.ghist>>1&1) + int(h.ghist>>2&1)
+		outcome := cnt >= 2
+		ok := h.step(0x2000, outcome)
+		if i >= 1500 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("perceptron accuracy on majority function = %.3f", acc)
+	}
+}
+
+func TestPerceptronCannotLearnXOR(t *testing.T) {
+	// Outcome = XOR of two *independent* random bits shifted in by other
+	// branches — famously not linearly separable, the perceptron's
+	// documented blind spot (Jiménez & Lin).  (XOR of a branch's *own*
+	// history is a period-3 sequence and thus trivially linear, so the
+	// noise bits must come from an independent source.)
+	h := newPercHarness(16)
+	rng := uint64(0x12345)
+	next := func() bool {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng&1 == 1
+	}
+	correct, total := 0, 0
+	for i := 0; i < 4000; i++ {
+		r1, r2 := next(), next()
+		// Two unrelated branches shift their outcomes into the history.
+		h.ghist = h.ghist << 1
+		if r1 {
+			h.ghist |= 1
+		}
+		h.ghist = h.ghist << 1
+		if r2 {
+			h.ghist |= 1
+		}
+		ok := h.step(0x3000, r1 != r2)
+		if i >= 2000 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc > 0.75 {
+		t.Errorf("perceptron should NOT learn XOR, got accuracy %.3f", acc)
+	}
+}
+
+func TestPerceptronSinglePredictionForWholePacket(t *testing.T) {
+	// §III-C: single-prediction components may provide one prediction for
+	// the entire vector.
+	h := newPercHarness(16)
+	r := h.p.Predict(&pred.Query{PC: 0x4000})
+	first := r.Overlay[0].Taken
+	for i, p := range r.Overlay {
+		if !p.DirValid || p.Taken != first {
+			t.Errorf("slot %d differs; perceptron provides one prediction for the packet", i)
+		}
+	}
+}
+
+func TestPerceptronThresholdStopsTraining(t *testing.T) {
+	// Once confident and correct, weights freeze (Jiménez's theta rule).
+	h := newPercHarness(8)
+	for i := 0; i < 500; i++ {
+		h.step(0x5000, true)
+	}
+	w0 := h.p.weights[h.p.index(0x5000)][0]
+	for i := 0; i < 200; i++ {
+		h.step(0x5000, true)
+	}
+	if h.p.weights[h.p.index(0x5000)][0] != w0 {
+		t.Error("bias weight kept growing past the confidence threshold")
+	}
+	if w0 == 63 {
+		t.Error("weight saturated; threshold should stop training earlier")
+	}
+}
+
+func TestPerceptronPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() {
+			NewPerceptron(pred.DefaultConfig(), PerceptronParams{Name: "p", Entries: 3, HistLen: 8})
+		},
+		func() {
+			NewPerceptron(pred.DefaultConfig(), PerceptronParams{Name: "p", Entries: 8, HistLen: 0})
+		},
+		func() {
+			NewPerceptron(pred.DefaultConfig(), PerceptronParams{Name: "p", Entries: 8, HistLen: 64})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected constructor panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

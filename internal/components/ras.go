@@ -1,0 +1,94 @@
+package components
+
+import "cobra/internal/sram"
+
+// RAS is the return-address stack.  The paper keeps BOOM's existing RAS
+// outside the COBRA-generated pipeline ("the only prediction sub-component
+// from the original BOOM core which was preserved was the return-address-
+// stack"), so this type is used directly by the frontend model rather than
+// implementing pred.Subcomponent.
+//
+// Misspeculation repair uses the checkpointed top-of-stack pointer scheme
+// (Skadron et al., cited as [44]): every prediction records (top, topValue)
+// in the history file, and a redirect restores both, which recovers from
+// pointer corruption and — for the common single-overwrite case — entry
+// corruption.
+type RAS struct {
+	entries []uint64
+	top     int // index of the current top (points at last pushed slot)
+	count   int
+	Pushes  uint64
+	Pops    uint64
+}
+
+// NewRAS builds a return-address stack with n entries (n > 0).
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("components: RAS needs at least one entry")
+	}
+	return &RAS{entries: make([]uint64, n), top: n - 1}
+}
+
+// Push records a return address (call instruction fetched).
+func (r *RAS) Push(retAddr uint64) {
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = retAddr
+	if r.count < len(r.entries) {
+		r.count++
+	}
+	r.Pushes++
+}
+
+// Pop predicts a return target and unwinds the stack.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	v := r.entries[r.top]
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.count--
+	r.Pops++
+	return v, true
+}
+
+// Peek returns the predicted return target without unwinding.
+func (r *RAS) Peek() (uint64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	return r.entries[r.top], true
+}
+
+// Checkpoint captures the repair state stored per history-file entry.
+type RASCheckpoint struct {
+	Top      int
+	Count    int
+	TopValue uint64
+}
+
+// Checkpoint returns the current repair state.
+func (r *RAS) Checkpoint() RASCheckpoint {
+	return RASCheckpoint{Top: r.top, Count: r.count, TopValue: r.entries[r.top]}
+}
+
+// Restore rewinds to a checkpoint (redirect/mispredict repair).
+func (r *RAS) Restore(c RASCheckpoint) {
+	r.top = c.Top
+	r.count = c.Count
+	r.entries[r.top] = c.TopValue
+}
+
+// Reset clears the stack.
+func (r *RAS) Reset() {
+	r.top = len(r.entries) - 1
+	r.count = 0
+	r.Pushes, r.Pops = 0, 0
+	for i := range r.entries {
+		r.entries[i] = 0
+	}
+}
+
+// Budget reports storage (flop-based).
+func (r *RAS) Budget() sram.Budget {
+	return sram.Budget{FlopBits: len(r.entries)*40 + 16}
+}

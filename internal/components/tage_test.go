@@ -1,0 +1,217 @@
+package components
+
+import (
+	"math/rand"
+	"testing"
+
+	"cobra/internal/history"
+	"cobra/internal/pred"
+)
+
+// tageHarness drives a TAGE component the way the composer would: predict
+// with live folds, speculatively shift the GHR, update at commit with the
+// predict-time metadata.
+type tageHarness struct {
+	g    *history.Global
+	t    *TAGE
+	cfg  pred.Config
+	hist uint64
+}
+
+func newTageHarness(params TAGEParams) *tageHarness {
+	g := history.NewGlobal(64)
+	cfg := pred.DefaultConfig()
+	return &tageHarness{g: g, t: NewTAGE(cfg, g, params), cfg: cfg}
+}
+
+// step predicts for the branch at (pc, slot), commits outcome, trains, and
+// returns whether TAGE (or pass-through) predicted correctly and whether
+// TAGE asserted an opinion.
+func (h *tageHarness) step(pc uint64, slot int, outcome bool) (correct, asserted bool) {
+	q := &pred.Query{PC: pc, GHist: h.g.Bits(64), GRaw: h.g.Raw()}
+	r := h.t.Predict(q)
+	p := r.Overlay[slot]
+	asserted = p.DirValid
+	predTaken := false // pipeline default: not-taken
+	if p.DirValid {
+		predTaken = p.Taken
+	}
+	correct = predTaken == outcome
+	slots := make([]pred.SlotInfo, h.cfg.FetchWidth)
+	slots[slot] = pred.SlotInfo{
+		Valid: true, IsBranch: true, Taken: outcome,
+		PredTaken: predTaken, Mispredicted: predTaken != outcome,
+	}
+	h.t.Update(&pred.Event{PC: pc, Meta: r.Meta, Slots: slots})
+	h.g.Shift(outcome)
+	return correct, asserted
+}
+
+func TestTAGELearnsHistoryPattern(t *testing.T) {
+	// A period-3 pattern (T,T,N) is invisible to a bimodal but trivial for a
+	// short-history tagged table.
+	h := newTageHarness(DefaultTAGEParams("tage"))
+	pattern := []bool{true, true, false}
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		ok, _ := h.step(0x1000, 0, pattern[i%3])
+		if i >= 1500 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.98 {
+		t.Errorf("TAGE accuracy on period-3 pattern = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestTAGELearnsLongHistoryCorrelation(t *testing.T) {
+	// Outcome equals the outcome 20 branches ago — needs >=20 bits of
+	// history, beyond the first few tables.
+	h := newTageHarness(DefaultTAGEParams("tage"))
+	rng := rand.New(rand.NewSource(5))
+	var past []bool
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		var outcome bool
+		if len(past) >= 20 {
+			outcome = past[len(past)-20]
+		} else {
+			outcome = rng.Intn(2) == 1
+		}
+		ok, _ := h.step(0x2000, 1, outcome)
+		past = append(past, outcome)
+		if i >= 10000 {
+			total++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("TAGE accuracy on 20-deep correlation = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestTAGESilentWithoutAllocation(t *testing.T) {
+	h := newTageHarness(DefaultTAGEParams("tage"))
+	q := &pred.Query{PC: 0x3000, GHist: 0}
+	r := h.t.Predict(q)
+	for i, p := range r.Overlay {
+		if p.DirValid {
+			t.Errorf("slot %d: fresh TAGE must pass through", i)
+		}
+	}
+	if r.Meta[0]&1 != 0 {
+		t.Error("fresh TAGE reported a provider hit")
+	}
+}
+
+func TestTAGEMetaRoundTripNoExtraReads(t *testing.T) {
+	h := newTageHarness(DefaultTAGEParams("tage"))
+	// Warm up with some mispredicts to trigger allocations.
+	for i := 0; i < 50; i++ {
+		h.step(0x4000, 0, i%2 == 0)
+	}
+	var reads uint64
+	for _, tb := range h.t.tables {
+		reads += tb.mem.TotalReads
+	}
+	q := &pred.Query{PC: 0x4000, GHist: h.g.Bits(64)}
+	r := h.t.Predict(q)
+	var reads2 uint64
+	for _, tb := range h.t.tables {
+		reads2 += tb.mem.TotalReads
+	}
+	predReads := reads2 - reads
+	if predReads != uint64(len(h.t.tables)) {
+		t.Errorf("predict read %d rows, want %d (one per table)", predReads, len(h.t.tables))
+	}
+	slots := make([]pred.SlotInfo, 4)
+	slots[0] = pred.SlotInfo{Valid: true, IsBranch: true, Taken: true}
+	h.t.Update(&pred.Event{PC: 0x4000, Meta: r.Meta, Slots: slots})
+	var reads3 uint64
+	for _, tb := range h.t.tables {
+		reads3 += tb.mem.TotalReads
+	}
+	if reads3 != reads2 {
+		t.Errorf("commit-time update issued %d reads; metadata should carry rows", reads3-reads2)
+	}
+}
+
+func TestTAGEAllocationOnMispredict(t *testing.T) {
+	h := newTageHarness(DefaultTAGEParams("tage"))
+	// One mispredicted branch (pipeline said not-taken, outcome taken).
+	q := &pred.Query{PC: 0x5000, GHist: 0}
+	r := h.t.Predict(q)
+	slots := make([]pred.SlotInfo, 4)
+	slots[2] = pred.SlotInfo{Valid: true, IsBranch: true, Taken: true, Mispredicted: true}
+	h.t.Update(&pred.Event{PC: 0x5000, Meta: r.Meta, Slots: slots})
+	// Same history: some table must now hit and predict taken.
+	r = h.t.Predict(q)
+	if r.Meta[0]&1 != 1 {
+		t.Fatal("no table allocated after mispredict")
+	}
+}
+
+func TestTAGENoAllocationWhenCorrect(t *testing.T) {
+	h := newTageHarness(DefaultTAGEParams("tage"))
+	q := &pred.Query{PC: 0x6000, GHist: 0}
+	r := h.t.Predict(q)
+	slots := make([]pred.SlotInfo, 4)
+	// Base predictor was right: not mispredicted.
+	slots[0] = pred.SlotInfo{Valid: true, IsBranch: true, Taken: false, PredTaken: false}
+	h.t.Update(&pred.Event{PC: 0x6000, Meta: r.Meta, Slots: slots})
+	r = h.t.Predict(q)
+	if r.Meta[0]&1 == 1 {
+		t.Error("TAGE allocated although the pipeline was correct")
+	}
+}
+
+func TestTAGEDeterministic(t *testing.T) {
+	run := func() uint64 {
+		h := newTageHarness(DefaultTAGEParams("tage"))
+		var sig uint64
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 2000; i++ {
+			pc := uint64(0x1000 + (rng.Intn(16) << 4))
+			outcome := rng.Intn(3) != 0
+			ok, asserted := h.step(pc, rng.Intn(4), outcome)
+			sig = sig*31 + b2u(ok)*2 + b2u(asserted)
+		}
+		return sig
+	}
+	if run() != run() {
+		t.Error("TAGE is not deterministic across identical runs")
+	}
+}
+
+func TestTAGEParamsValidation(t *testing.T) {
+	g := history.NewGlobal(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched parameter slices")
+		}
+	}()
+	NewTAGE(pred.DefaultConfig(), g, TAGEParams{
+		Name: "bad", TableEntries: []int{64}, HistLens: []uint{4, 8}, TagBits: []uint{7, 7},
+	})
+}
+
+func TestTAGEScaledRegistrySize(t *testing.T) {
+	e := env()
+	small, err := Build(e, "TAGE3(1024)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(Env{Cfg: cfg(), Global: history.NewGlobal(64)}, "TAGE3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Budget().TotalBits() >= big.Budget().TotalBits() {
+		t.Errorf("scaled TAGE (%d bits) should be smaller than default (%d bits)",
+			small.Budget().TotalBits(), big.Budget().TotalBits())
+	}
+}

@@ -1,0 +1,37 @@
+package compose
+
+import "testing"
+
+// FuzzParseTopology asserts the parser never panics and that anything it
+// accepts round-trips through its canonical form.
+func FuzzParseTopology(f *testing.F) {
+	for _, seed := range []string{
+		"LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+		"TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+		"TOURNEY3 > [(LOOP2 > GBIM2), LBIM2]",
+		"A",
+		"A > B",
+		"A > [B, C]",
+		"LOOP3(256) > BIM2(1024)",
+		"A > [B, C, D, E]",
+		"((((A))))",
+		"A > [B > (C > D), E]",
+		"", ">", "][", "A > [B]", "A > (", "A(((", "A))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ParseTopology(src)
+		if err != nil {
+			return
+		}
+		canon := topo.String()
+		again, err := ParseTopology(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, src, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, again.String())
+		}
+	})
+}

@@ -1,0 +1,591 @@
+package compose
+
+import (
+	"fmt"
+
+	"cobra/internal/components"
+	"cobra/internal/history"
+	"cobra/internal/pred"
+	"cobra/internal/sram"
+)
+
+// GHRPolicy selects how the pipeline treats refinements of a packet's global
+// history contribution that arrive from deeper pipeline stages without a
+// next-PC change — the design axis §VI-B explores.
+type GHRPolicy int
+
+const (
+	// GHRRepair rewrites the speculative global history when a deeper stage
+	// refines a packet's branch set/directions, but lets younger in-flight
+	// fetches (made with the stale history) continue — the paper's original
+	// design.
+	GHRRepair GHRPolicy = iota
+	// GHRRepairReplay additionally squashes and replays younger fetches so
+	// their predictions use the corrected history; costs bubbles, improves
+	// accuracy (the paper's alternate design: +15% IPC, -25% mispredicts on
+	// SPEC, but -3% IPC on Dhrystone).
+	GHRRepairReplay
+	// GHRNoRepair leaves stale bits in place entirely (ablation; strictly
+	// worse, quantifying why history providers need repair at all).
+	GHRNoRepair
+)
+
+func (p GHRPolicy) String() string {
+	switch p {
+	case GHRRepair:
+		return "repair"
+	case GHRRepairReplay:
+		return "repair+replay"
+	case GHRNoRepair:
+		return "no-repair"
+	}
+	return "unknown"
+}
+
+// Options configure the generated management structures.
+type Options struct {
+	GHistBits     uint // global history register length (default 64)
+	LocalEntries  int  // local history table rows (default 256)
+	LocalHistBits uint // bits per local history (default 32)
+	PathBits      uint // path history length (default 16)
+	HFEntries     int  // history file capacity (default 32)
+	GHRPolicy     GHRPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.GHistBits == 0 {
+		o.GHistBits = 64
+	}
+	if o.LocalEntries == 0 {
+		o.LocalEntries = 256
+	}
+	if o.LocalHistBits == 0 {
+		o.LocalHistBits = 32
+	}
+	if o.PathBits == 0 {
+		o.PathBits = 16
+	}
+	if o.HFEntries == 0 {
+		o.HFEntries = 32
+	}
+	return o
+}
+
+// Counters exposes the pipeline's event statistics.
+type Counters struct {
+	Queries     uint64
+	Accepts     uint64
+	ReAccepts   uint64
+	HistRepairs uint64 // younger-preserving GHR reshifts (GHRRepair)
+	Mispredicts uint64
+	Commits     uint64
+	Squashed    uint64 // entries squashed by mispredicts/redirects
+	StaleEvents uint64 // resolve/commit calls on dead entries (model audit)
+}
+
+// pnode is an instantiated topology node.
+type pnode struct {
+	comp    pred.Subcomponent
+	name    string
+	lat     int
+	inputs  []int // indices into Pipeline.nodes
+	primary int   // inputs[0] or -1
+}
+
+// Pipeline is a complete COBRA-generated predictor pipeline: instantiated
+// sub-components wired per the topology, plus generated history providers,
+// history file, and repair state machine.  It is the drop-in unit a host
+// core's fetch unit drives (§IV-C).
+type Pipeline struct {
+	Cfg  pred.Config
+	Opt  Options
+	Topo *Topology
+
+	nodes   []*pnode
+	rootIdx int
+	depth   int
+
+	Global *history.Global
+	Local  *history.Local // nil when no component consumes local history
+	PathH  *history.Path
+
+	hf *historyFile
+	C  Counters
+
+	// scratch buffers reused across Predict calls.
+	outs    [][]pred.Packet // per node, per stage: combined output packets
+	ovl     []pred.Packet   // per node: the raw overlay it returned this query
+	zeroPkt pred.Packet     // read-only all-empty packet
+	metaOff []int           // per node: offset into the per-entry meta arena
+	metaTot int
+}
+
+// Resolution is the outcome of resolving one branch slot.
+type Resolution struct {
+	Mispredict bool
+	DirMisp    bool // wrong direction (conditional branch)
+	TgtMisp    bool // right direction, wrong/unknown target
+	Redirect   uint64
+}
+
+// New builds a pipeline for the topology using the component registry.
+func New(cfg pred.Config, topo *Topology, opt Options) (*Pipeline, error) {
+	if !cfg.Valid() {
+		return nil, fmt.Errorf("compose: invalid fetch geometry %+v", cfg)
+	}
+	opt = opt.withDefaults()
+	p := &Pipeline{
+		Cfg:    cfg,
+		Opt:    opt,
+		Topo:   topo,
+		Global: history.NewGlobal(opt.GHistBits),
+		PathH:  history.NewPath(opt.PathBits),
+	}
+	env := components.Env{Cfg: cfg, Global: p.Global}
+	order := topo.Nodes() // inputs-first
+	index := map[*Node]int{}
+	usesLocal := false
+	for _, n := range order {
+		comp, err := components.Build(env, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := pred.Validate(comp); err != nil {
+			return nil, err
+		}
+		if comp.NumInputs() >= 2 && len(n.Inputs) != comp.NumInputs() {
+			return nil, fmt.Errorf("compose: %s is an arbitration scheme needing %d inputs, topology provides %d",
+				n.Name, comp.NumInputs(), len(n.Inputs))
+		}
+		if len(n.Inputs) > comp.NumInputs() {
+			return nil, fmt.Errorf("compose: %s accepts %d predict_in edges, topology provides %d",
+				n.Name, comp.NumInputs(), len(n.Inputs))
+		}
+		pn := &pnode{comp: comp, name: n.Name, lat: comp.Latency(), primary: -1}
+		for _, in := range n.Inputs {
+			pn.inputs = append(pn.inputs, index[in])
+		}
+		if len(pn.inputs) > 0 {
+			pn.primary = pn.inputs[0]
+		}
+		index[n] = len(p.nodes)
+		p.nodes = append(p.nodes, pn)
+		if pn.lat > p.depth {
+			p.depth = pn.lat
+		}
+		if lu, ok := comp.(interface{ UsesLocalHistory() bool }); ok && lu.UsesLocalHistory() {
+			usesLocal = true
+		}
+	}
+	p.rootIdx = index[topo.Root]
+	if usesLocal {
+		p.Local = history.NewLocal(opt.LocalEntries, opt.LocalHistBits, cfg.PktOff())
+	}
+	p.hf = newHistoryFile(opt.HFEntries, cfg.FetchWidth)
+	p.outs = make([][]pred.Packet, len(p.nodes))
+	for i := range p.outs {
+		p.outs[i] = make([]pred.Packet, p.depth)
+		for d := range p.outs[i] {
+			p.outs[i][d] = make(pred.Packet, cfg.FetchWidth)
+		}
+	}
+	p.ovl = make([]pred.Packet, len(p.nodes))
+	p.zeroPkt = make(pred.Packet, cfg.FetchWidth)
+	p.metaOff = make([]int, len(p.nodes))
+	for i, n := range p.nodes {
+		p.metaOff[i] = p.metaTot
+		p.metaTot += n.comp.MetaWords()
+	}
+	return p, nil
+}
+
+// Depth is the pipeline depth (slowest component's latency).
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Components returns the instantiated sub-components in topological order.
+func (p *Pipeline) Components() []pred.Subcomponent {
+	out := make([]pred.Subcomponent, len(p.nodes))
+	for i, n := range p.nodes {
+		out[i] = n.comp
+	}
+	return out
+}
+
+// Tick advances all component SRAM port accounting to cycle.
+func (p *Pipeline) Tick(cycle uint64) {
+	for _, n := range p.nodes {
+		n.comp.Tick(cycle)
+	}
+	if p.Local != nil {
+		p.Local.Tick(cycle)
+	}
+}
+
+// Full reports whether the history file has no free entry (fetch must
+// stall — FTQ backpressure).
+func (p *Pipeline) Full() bool { return p.hf.full() }
+
+// InFlight returns the number of live history file entries.
+func (p *Pipeline) InFlight() int { return p.hf.count }
+
+// Oldest returns the oldest in-flight entry (commit candidate), or nil.
+func (p *Pipeline) Oldest() *Entry { return p.hf.oldest() }
+
+// overlayInto writes over[i] applied on base[i] into dst (no allocation).
+func overlayInto(dst, over, base pred.Packet) {
+	for i := range dst {
+		dst[i] = over[i].OverlayOn(base[i])
+	}
+}
+
+// Predict issues the predict event for the fetch packet at pc (§III-E) and
+// returns the allocated history-file entry plus the final prediction at
+// every stage 1..Depth (stages[d-1] is what the pipeline redirects on d
+// cycles after the query — the staged overriding of §IV-B).  Returns nil
+// when the history file is full.
+func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
+	if p.hf.full() {
+		return nil, nil
+	}
+	p.C.Queries++
+	e := p.hf.alloc()
+	e.PC = p.Cfg.PacketBase(pc)
+	e.preSnap = p.Global.Snapshot()
+	e.prePath = p.PathH.Snapshot()
+	e.ghistLow = p.Global.Bits(64)
+	e.path = p.PathH.Bits()
+	if p.Local != nil {
+		e.lhist = p.Local.Read(e.PC)
+	}
+	if e.metas == nil {
+		e.metas = make([][]uint64, len(p.nodes))
+	}
+	if e.metaBuf == nil {
+		e.metaBuf = make([]uint64, p.metaTot)
+	}
+
+	graw := e.preSnap.Hist()
+	for d := 1; d <= p.depth; d++ {
+		for ni, n := range p.nodes {
+			prim := p.zeroPkt
+			if n.primary >= 0 {
+				prim = p.outs[n.primary][d-1]
+			}
+			switch {
+			case d < n.lat:
+				copy(p.outs[ni][d-1], prim)
+			case d == n.lat:
+				q := pred.Query{Cycle: cycle, PC: e.PC}
+				if n.lat >= 2 {
+					// Histories arrive at the end of Fetch-1 (§III-B):
+					// latency-1 components never see them.
+					q.GHist = e.ghistLow
+					q.GRaw = graw
+					q.LHist = e.lhist
+					q.Path = e.path
+				}
+				for _, ii := range n.inputs {
+					q.In = append(q.In, p.outs[ii][d-1])
+				}
+				resp := n.comp.Predict(&q)
+				// Persist the metadata in the entry's arena (components may
+				// reuse their returned buffers on the next predict).
+				dst := e.metaBuf[p.metaOff[ni] : p.metaOff[ni]+len(resp.Meta)]
+				copy(dst, resp.Meta)
+				e.metas[ni] = dst
+				p.ovl[ni] = resp.Overlay
+				overlayInto(p.outs[ni][d-1], resp.Overlay, prim)
+			default:
+				// d > lat: the component's own overlay stays pinned over the
+				// refined input (monotone refinement, §III-A).
+				overlayInto(p.outs[ni][d-1], p.ovl[ni], prim)
+			}
+		}
+	}
+	stages := make([]pred.Packet, p.depth)
+	for d := 1; d <= p.depth; d++ {
+		stages[d-1] = p.outs[p.rootIdx][d-1].Clone()
+	}
+	return e, stages
+}
+
+// event builds the common §III-E event payload for entry e and node ni.
+func (p *Pipeline) event(cycle uint64, e *Entry, ni int) pred.Event {
+	return pred.Event{
+		Cycle: cycle,
+		PC:    e.PC,
+		GHist: e.ghistLow,
+		GRaw:  e.preSnap.Hist(),
+		LHist: e.lhist,
+		Path:  e.path,
+		Meta:  e.metas[ni],
+		Slots: e.Slots,
+	}
+}
+
+// Accept installs the frontend's accepted view of the packet (initially the
+// stage-1 prediction) and performs the speculative state updates: local and
+// global history shifts for each predicted branch, path history, and the
+// fire event to every sub-component (§III-E).
+func (p *Pipeline) Accept(cycle uint64, e *Entry, used pred.Packet, slots []pred.SlotInfo, cfiIdx int, nextPC uint64) {
+	p.C.Accepts++
+	e.Used = used
+	copy(e.Slots, slots)
+	for i := range e.Slots {
+		e.Slots[i].PredTaken = e.Slots[i].Taken
+	}
+	e.CfiIdx = cfiIdx
+	e.NextPC = nextPC
+	p.fire(cycle, e, true)
+}
+
+// fire performs the speculative updates for e's current view.  shiftGlobal
+// is false only for the GHRNoRepair re-accept path, which deliberately
+// leaves stale bits in the global history.
+func (p *Pipeline) fire(cycle uint64, e *Entry, shiftGlobal bool) {
+	end := p.Cfg.FetchWidth - 1
+	if e.CfiIdx >= 0 && e.CfiIdx < end {
+		end = e.CfiIdx
+	}
+	e.shifts = e.shifts[:0]
+	for i := 0; i <= end; i++ {
+		s := e.Slots[i]
+		if !s.Valid || !s.IsBranch {
+			continue
+		}
+		if p.Local != nil {
+			old := p.Local.SpecUpdate(s.PC, s.Taken)
+			e.lhistSaves = append(e.lhistSaves, lhistSave{pc: s.PC, old: old})
+		}
+		if shiftGlobal {
+			p.Global.Shift(s.Taken)
+			e.shifts = append(e.shifts, s.Taken)
+		}
+	}
+	if shiftGlobal && e.CfiIdx >= 0 && e.Slots[e.CfiIdx].Valid && e.Slots[e.CfiIdx].Taken {
+		p.PathH.Shift(e.NextPC, p.Cfg.InstOff())
+	}
+	for ni, n := range p.nodes {
+		ev := p.event(cycle, e, ni)
+		n.comp.Fire(&ev)
+	}
+	e.fired = true
+}
+
+// unfire reverses e's speculative updates: repair events to every component
+// (restoring loop/local component state from metadata) and local-history
+// restore, in reverse order.  The global history register is restored by the
+// caller via snapshots.
+func (p *Pipeline) unfire(cycle uint64, e *Entry) {
+	if !e.fired {
+		return
+	}
+	for ni, n := range p.nodes {
+		ev := p.event(cycle, e, ni)
+		n.comp.Repair(&ev)
+	}
+	for i := len(e.lhistSaves) - 1; i >= 0; i-- {
+		sv := e.lhistSaves[i]
+		p.Local.Restore(sv.pc, sv.old)
+	}
+	e.lhistSaves = e.lhistSaves[:0]
+	e.fired = false
+}
+
+// squashYounger removes every entry younger than e, running the repair walk
+// (youngest first, so local history restores compose to the oldest saved
+// values — equivalent to the paper's forwards-walk restore).
+func (p *Pipeline) squashYounger(cycle uint64, e *Entry) {
+	for {
+		y := p.hf.youngest()
+		if y == nil || y.seq <= e.seq {
+			return
+		}
+		p.unfire(cycle, y)
+		p.hf.popYoungest()
+		p.C.Squashed++
+	}
+}
+
+// ReAccept refines the accepted view of in-flight entry e when a deeper
+// stage (or pre-decode) responds.  squashYounger=true is the redirect path
+// (next-PC changed, or GHRRepairReplay forcing a fetch replay): younger
+// entries are squashed and must be refetched.  With squashYounger=false the
+// behaviour follows the pipeline's GHRPolicy: GHRRepair rewrites the
+// speculative history beneath the surviving younger entries; GHRNoRepair
+// leaves the stale bits.
+func (p *Pipeline) ReAccept(cycle uint64, e *Entry, used pred.Packet, slots []pred.SlotInfo, cfiIdx int, nextPC uint64, squashYounger bool) {
+	p.C.ReAccepts++
+	if squashYounger {
+		p.squashYounger(cycle, e)
+	}
+	p.unfire(cycle, e)
+	repairGlobal := squashYounger || p.Opt.GHRPolicy != GHRNoRepair
+	if repairGlobal {
+		p.Global.Restore(e.preSnap)
+		p.PathH.Restore(e.prePath)
+	}
+	e.Used = used
+	copy(e.Slots, slots)
+	for i := range e.Slots {
+		e.Slots[i].PredTaken = e.Slots[i].Taken
+	}
+	e.CfiIdx = cfiIdx
+	e.NextPC = nextPC
+	p.fire(cycle, e, repairGlobal)
+	if repairGlobal && !squashYounger {
+		// Younger entries' speculative bits were wiped by the restore;
+		// re-shift them on top of the corrected contribution (the repair-
+		// without-replay design: their *predictions* stay stale, their
+		// history bits are preserved).
+		p.C.HistRepairs++
+		p.hf.forwardFrom(e, func(y *Entry) {
+			y.preSnap = p.Global.Snapshot()
+			y.prePath = p.PathH.Snapshot()
+			for _, b := range y.shifts {
+				p.Global.Shift(b)
+			}
+			if y.CfiIdx >= 0 && y.Slots[y.CfiIdx].Valid && y.Slots[y.CfiIdx].Taken {
+				p.PathH.Shift(y.NextPC, p.Cfg.InstOff())
+			}
+		})
+	}
+}
+
+// Resolve records the execution outcome of the branch in e's slot and, on a
+// misprediction, runs the full repair sequence: squash younger entries
+// (forwards-walk repair), restore histories, re-fire this packet's corrected
+// contribution, and deliver the fast mispredict event to every component.
+func (p *Pipeline) Resolve(cycle uint64, e *Entry, slot int, taken bool, target uint64) Resolution {
+	if !e.valid {
+		p.C.StaleEvents++
+		return Resolution{}
+	}
+	s := &e.Slots[slot]
+	predTaken := s.PredTaken
+	dirMisp := s.IsBranch && predTaken != taken
+	tgtMisp := false
+	if taken && !dirMisp {
+		// Predicted taken: the accepted next PC must match the real target.
+		tgtMisp = e.CfiIdx != slot || e.NextPC != target
+	}
+	s.Taken = taken
+	s.Target = target
+	misp := dirMisp || tgtMisp
+	s.Mispredicted = misp
+	if !misp {
+		return Resolution{}
+	}
+	p.C.Mispredicts++
+	p.squashYounger(cycle, e)
+	p.unfire(cycle, e)
+	p.Global.Restore(e.preSnap)
+	p.PathH.Restore(e.prePath)
+	// Truncate the packet at the resolved branch: younger slots were either
+	// never fetched (predicted taken) or are now wrong-path (predicted
+	// not-taken, actually taken).
+	for i := slot + 1; i < len(e.Slots); i++ {
+		e.Slots[i] = pred.SlotInfo{}
+	}
+	e.CfiIdx = slot
+	if taken {
+		e.NextPC = target
+	} else {
+		e.NextPC = s.PC + uint64(p.Cfg.InstBytes)
+	}
+	p.fire(cycle, e, true)
+	for ni, n := range p.nodes {
+		ev := p.event(cycle, e, ni)
+		n.comp.Mispredict(&ev)
+	}
+	return Resolution{
+		Mispredict: true,
+		DirMisp:    dirMisp,
+		TgtMisp:    tgtMisp,
+		Redirect:   e.NextPC,
+	}
+}
+
+// Commit retires the oldest entry: commit-time update events to every
+// component (§III-E), then dequeue (§IV-B.1).
+func (p *Pipeline) Commit(cycle uint64, e *Entry) {
+	if !e.valid {
+		p.C.StaleEvents++
+		return
+	}
+	if p.hf.oldest() != e {
+		panic("compose: Commit on non-oldest history file entry")
+	}
+	for ni, n := range p.nodes {
+		ev := p.event(cycle, e, ni)
+		n.comp.Update(&ev)
+	}
+	p.hf.dequeue()
+	p.C.Commits++
+}
+
+// SquashAll drops every in-flight entry (pipeline flush, e.g. exception).
+func (p *Pipeline) SquashAll(cycle uint64) {
+	if p.hf.empty() {
+		return
+	}
+	oldest := p.hf.oldest()
+	p.squashYounger(cycle, oldest)
+	p.unfire(cycle, oldest)
+	p.Global.Restore(oldest.preSnap)
+	p.PathH.Restore(oldest.prePath)
+	p.hf.popYoungest()
+	p.C.Squashed++
+}
+
+// Reset returns the pipeline and all components to power-on state.
+func (p *Pipeline) Reset() {
+	for _, n := range p.nodes {
+		n.comp.Reset()
+	}
+	p.Global.Reset()
+	p.PathH.Reset()
+	if p.Local != nil {
+		p.Local.Reset()
+	}
+	p.hf = newHistoryFile(p.Opt.HFEntries, p.Cfg.FetchWidth)
+	p.C = Counters{}
+}
+
+// ComponentBudgets returns each sub-component's storage, keyed by node name.
+func (p *Pipeline) ComponentBudgets() map[string]sram.Budget {
+	out := make(map[string]sram.Budget, len(p.nodes))
+	for _, n := range p.nodes {
+		out[n.name] = n.comp.Budget()
+	}
+	return out
+}
+
+// ManagementBudget returns the storage of the generated management
+// structures (§IV-B.1): history providers plus the history file, the "Meta"
+// bars of Fig. 8.
+func (p *Pipeline) ManagementBudget() sram.Budget {
+	b := p.Global.Budget()
+	b = b.Add(p.PathH.Budget())
+	if p.Local != nil {
+		b = b.Add(p.Local.Budget())
+	}
+	// History file: per entry, the global snapshot (register + folds), path
+	// and local histories, metadata words, per-slot prediction state, and
+	// the PC/seq bookkeeping.
+	snapBits := p.Global.Budget().FlopBits
+	metaBits := 0
+	for _, n := range p.nodes {
+		metaBits += n.comp.MetaWords() * 64
+	}
+	perSlot := p.Cfg.FetchWidth * (2 + 40 + 8)
+	entryBits := snapBits + int(p.Opt.PathBits) + int(p.Opt.LocalHistBits) + metaBits + perSlot + 64
+	b.Mems = append(b.Mems, sram.Spec{
+		Name:       "history_file",
+		Entries:    p.Opt.HFEntries,
+		Width:      entryBits,
+		ReadPorts:  1,
+		WritePorts: 1,
+	})
+	return b
+}

@@ -1,0 +1,149 @@
+package compose
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cobra/internal/pred"
+)
+
+// randomTopology builds a random chain/bracket topology out of the real
+// component library.
+func randomTopology(rng *rand.Rand) string {
+	// LBIM2 is reserved for the tournament's local side so generated
+	// topologies never duplicate an instance name.
+	leaves := []string{"BIM2", "GBIM2", "GSEL2", "PBIM2"}
+	mids := []string{"BTB2", "GTAG3", "TAGE3", "LOOP3", "PERC3", "SCOR3",
+		"GEHL3", "YAGS3", "GSKEW3", "ITGT3"}
+	chain := func(n int) string {
+		s := leaves[rng.Intn(len(leaves))]
+		used := map[string]bool{}
+		for i := 0; i < n; i++ {
+			m := mids[rng.Intn(len(mids))]
+			if used[m] {
+				continue
+			}
+			used[m] = true
+			s = m + " > " + s
+		}
+		return s
+	}
+	if rng.Intn(3) == 0 {
+		return fmt.Sprintf("TOURNEY3 > [%s, LBIM2]", chain(rng.Intn(2)))
+	}
+	top := chain(1 + rng.Intn(3))
+	if rng.Intn(2) == 0 {
+		top += " > UBTB1"
+	}
+	return top
+}
+
+// TestRandomTopologiesMonotoneRefinement drives random pipelines with
+// random query/accept/resolve/commit traffic and checks the §III-A
+// refinement law on every prediction: once a stage asserts a direction or
+// target for a slot, every deeper stage still asserts one (values may
+// change only when a deeper component overrides — validity never retracts).
+func TestRandomTopologiesMonotoneRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		src := randomTopology(rng)
+		topo, err := ParseTopology(src)
+		if err != nil {
+			t.Fatalf("generated invalid topology %q: %v", src, err)
+		}
+		p, err := New(pred.DefaultConfig(), topo, Options{GHistBits: 64})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		for q := 0; q < 300; q++ {
+			pc := uint64(0x1000 + rng.Intn(64)*16)
+			p.Tick(uint64(q))
+			e, stages := p.Predict(uint64(q), pc)
+			if e == nil {
+				t.Fatalf("%q: unexpected stall", src)
+			}
+			for d := 1; d < len(stages); d++ {
+				for i := range stages[d] {
+					prev, cur := stages[d-1][i], stages[d][i]
+					if prev.DirValid && !cur.DirValid {
+						t.Fatalf("%q: stage %d retracted direction at slot %d", src, d+1, i)
+					}
+					if prev.TgtValid && !cur.TgtValid {
+						t.Fatalf("%q: stage %d retracted target at slot %d", src, d+1, i)
+					}
+				}
+			}
+			// Random accept/resolve/commit traffic to churn internal state.
+			slots := make([]pred.SlotInfo, p.Cfg.FetchWidth)
+			slot := rng.Intn(p.Cfg.FetchWidth)
+			taken := rng.Intn(2) == 0
+			slots[slot] = pred.SlotInfo{Valid: true, IsBranch: true, Taken: taken,
+				PC: p.Cfg.SlotPC(pc, slot)}
+			cfi := -1
+			next := p.Cfg.PacketBase(pc) + uint64(p.Cfg.PktBytes())
+			if taken {
+				cfi = slot
+				next = 0x8000
+			}
+			p.Accept(uint64(q), e, stages[len(stages)-1], slots, cfi, next)
+			if rng.Intn(3) == 0 {
+				p.Resolve(uint64(q), e, slot, rng.Intn(2) == 0, 0x8000)
+			}
+			if rng.Intn(2) == 0 {
+				for p.InFlight() > 0 {
+					p.Commit(uint64(q), p.Oldest())
+				}
+			}
+		}
+	}
+}
+
+// TestRandomTopologiesSurviveMispredictStorms stresses the repair machinery
+// with dense mispredict/squash sequences and checks the history file never
+// leaks entries and the global history stays masked.
+func TestRandomTopologiesSurviveMispredictStorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 10; trial++ {
+		src := randomTopology(rng)
+		p, err := New(pred.DefaultConfig(), MustParse(src), Options{GHistBits: 64, HFEntries: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []*Entry
+		for q := 0; q < 500; q++ {
+			p.Tick(uint64(q))
+			if e, stages := p.Predict(uint64(q), uint64(0x1000+rng.Intn(32)*16)); e != nil {
+				slots := make([]pred.SlotInfo, p.Cfg.FetchWidth)
+				slots[0] = pred.SlotInfo{Valid: true, IsBranch: true,
+					Taken: rng.Intn(2) == 0, PC: e.PC}
+				p.Accept(uint64(q), e, stages[0], slots, -1, e.PC+16)
+				live = append(live, e)
+			}
+			switch rng.Intn(4) {
+			case 0: // resolve a random live entry (often mispredicting)
+				if len(live) > 0 {
+					e := live[rng.Intn(len(live))]
+					if e.Valid() {
+						p.Resolve(uint64(q), e, 0, rng.Intn(2) == 0, 0x9000)
+					}
+				}
+			case 1: // commit the oldest
+				if old := p.Oldest(); old != nil {
+					p.Commit(uint64(q), old)
+				}
+			}
+			// Prune dead references.
+			nl := live[:0]
+			for _, e := range live {
+				if e.Valid() {
+					nl = append(nl, e)
+				}
+			}
+			live = nl
+			if p.InFlight() != len(live) {
+				t.Fatalf("%q: history file count %d != live entries %d", src, p.InFlight(), len(live))
+			}
+		}
+	}
+}

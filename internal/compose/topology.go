@@ -1,0 +1,233 @@
+// Package compose implements the COBRA predictor composer (§IV): it parses
+// the paper's topological notation for predictor pipelines, instantiates
+// sub-components from the library registry, generates the staged
+// final-prediction logic with natural overriding (§IV-B), and generates the
+// predictor management structures — the history file, the forwards-walk
+// repair state machine, and the history providers (§IV-B.1 through §IV-B.3).
+package compose
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one vertex of a predictor topology: a named sub-component plus the
+// nodes feeding its predict_in edges.  Inputs[0] is the primary input — the
+// chain whose prediction passes through when this node is transparent.
+type Node struct {
+	Name   string
+	Inputs []*Node
+}
+
+// Topology is a parsed predictor topology; Root provides the final
+// prediction (§IV-B: "the node providing the final prediction").
+type Topology struct {
+	Root *Node
+	src  string
+}
+
+// String returns the canonical textual form of the topology.
+func (t *Topology) String() string { return formatNode(t.Root) }
+
+func formatNode(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	switch len(n.Inputs) {
+	case 0:
+		return n.Name
+	case 1:
+		return n.Name + " > " + formatNode(n.Inputs[0])
+	default:
+		parts := make([]string, len(n.Inputs))
+		for i, in := range n.Inputs {
+			parts[i] = formatNode(in)
+		}
+		return n.Name + " > [" + strings.Join(parts, ", ") + "]"
+	}
+}
+
+// Nodes returns the topology's nodes in dependency (inputs-first) order.
+func (t *Topology) Nodes() []*Node {
+	var out []*Node
+	seen := map[*Node]bool{}
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+		out = append(out, n)
+	}
+	walk(t.Root)
+	return out
+}
+
+// ParseTopology parses the paper's notation, e.g.
+//
+//	LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1
+//	TOURNEY3 > [GBIM2 > BTB2, LBIM2]
+//	TOURNEY3 > [(LOOP2 > GHT2), LHT2]
+//
+// Grammar: chain := term ('>' (chain | bracket))?; bracket := '[' chain
+// (',' chain)* ']'; term := NAME | '(' chain ')'.  The leftmost node is the
+// root (most powerful prediction).
+func ParseTopology(src string) (*Topology, error) {
+	p := &topoParser{src: src}
+	root, err := p.chain()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("compose: trailing input at %q", p.src[p.pos:])
+	}
+	t := &Topology{Root: root, src: src}
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParse is ParseTopology for known-good literals (panics on error).
+func MustParse(src string) *Topology {
+	t, err := ParseTopology(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// check rejects duplicate node names (each node is one hardware instance).
+func (t *Topology) check() error {
+	seen := map[string]bool{}
+	for _, n := range t.Nodes() {
+		if seen[n.Name] {
+			return fmt.Errorf("compose: duplicate node %q in topology %q", n.Name, t.src)
+		}
+		seen[n.Name] = true
+	}
+	return nil
+}
+
+type topoParser struct {
+	src string
+	pos int
+}
+
+func (p *topoParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *topoParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *topoParser) chain() (*Node, error) {
+	n, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == '>' {
+		p.pos++
+		if p.peek() == '[' {
+			ins, err := p.bracket()
+			if err != nil {
+				return nil, err
+			}
+			n.Inputs = ins
+			return n, nil
+		}
+		in, err := p.chain()
+		if err != nil {
+			return nil, err
+		}
+		n.Inputs = []*Node{in}
+	}
+	return n, nil
+}
+
+func (p *topoParser) bracket() ([]*Node, error) {
+	if p.peek() != '[' {
+		return nil, fmt.Errorf("compose: expected '[' at %d", p.pos)
+	}
+	p.pos++
+	var ins []*Node
+	for {
+		n, err := p.chain()
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, n)
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			if len(ins) < 2 {
+				return nil, fmt.Errorf("compose: bracket needs >= 2 inputs (arbitration, §IV-A.1)")
+			}
+			return ins, nil
+		default:
+			return nil, fmt.Errorf("compose: expected ',' or ']' at offset %d of %q", p.pos, p.src)
+		}
+	}
+}
+
+func (p *topoParser) term() (*Node, error) {
+	if p.peek() == '(' {
+		p.pos++
+		n, err := p.chain()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("compose: unbalanced '(' in %q", p.src)
+		}
+		p.pos++
+		return n, nil
+	}
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			p.pos++
+			continue
+		}
+		if c == '(' { // size argument, e.g. LOOP3(256)
+			depth := 0
+			for p.pos < len(p.src) {
+				if p.src[p.pos] == '(' {
+					depth++
+				} else if p.src[p.pos] == ')' {
+					depth--
+					p.pos++
+					if depth == 0 {
+						break
+					}
+					continue
+				}
+				p.pos++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("compose: unbalanced size parens in %q", p.src)
+			}
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("compose: expected node name at offset %d of %q", start, p.src)
+	}
+	return &Node{Name: p.src[start:p.pos]}, nil
+}

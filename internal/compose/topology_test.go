@@ -1,0 +1,131 @@
+package compose
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseChain(t *testing.T) {
+	topo, err := ParseTopology("LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Root.Name != "LOOP3" {
+		t.Errorf("root = %s", topo.Root.Name)
+	}
+	nodes := topo.Nodes()
+	if len(nodes) != 5 {
+		t.Fatalf("node count = %d", len(nodes))
+	}
+	// Inputs-first order: leaf (UBTB1) first, root last.
+	if nodes[0].Name != "UBTB1" || nodes[4].Name != "LOOP3" {
+		t.Errorf("order = %v", nodeNames(nodes))
+	}
+	// Each node in the chain has one input.
+	if len(topo.Root.Inputs) != 1 || topo.Root.Inputs[0].Name != "TAGE3" {
+		t.Errorf("LOOP3 input wrong: %+v", topo.Root.Inputs)
+	}
+}
+
+func nodeNames(ns []*Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func TestParseBracket(t *testing.T) {
+	topo, err := ParseTopology("TOURNEY3 > [GBIM2 > BTB2, LBIM2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Root.Inputs) != 2 {
+		t.Fatalf("tournament inputs = %d", len(topo.Root.Inputs))
+	}
+	if topo.Root.Inputs[0].Name != "GBIM2" || topo.Root.Inputs[1].Name != "LBIM2" {
+		t.Errorf("inputs = %v", nodeNames(topo.Root.Inputs))
+	}
+	if topo.Root.Inputs[0].Inputs[0].Name != "BTB2" {
+		t.Error("nested chain inside bracket not parsed")
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	// The paper's §IV-A.1 example with a parenthesized chain inside the
+	// bracket.
+	topo, err := ParseTopology("TOURNEY3 > [(LOOP2 > GBIM2), LBIM2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := topo.Root.Inputs[0]
+	if first.Name != "LOOP2" || first.Inputs[0].Name != "GBIM2" {
+		t.Errorf("paren chain mis-parsed: %s", topo)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	topo, err := ParseTopology("LOOP3(256) > BIM2(1024)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Root.Name != "LOOP3(256)" {
+		t.Errorf("size argument lost: %q", topo.Root.Name)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+		"TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+		"GTAG3 > BTB2 > BIM2",
+	} {
+		topo := MustParse(src)
+		again := MustParse(topo.String())
+		if topo.String() != again.String() {
+			t.Errorf("round trip changed %q -> %q", topo, again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		">",
+		"A >",
+		"A > [B]",     // arbitration needs >= 2 inputs
+		"A > [B, C",   // unterminated
+		"A > (B",      // unbalanced paren
+		"A B",         // trailing garbage
+		"A > [B,, C]", // empty element
+		"DUP > DUP",   // duplicate instance names
+		"A > [B, B]",  // duplicate in bracket
+	} {
+		if _, err := ParseTopology(src); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse(">")
+}
+
+func TestDiagramSmoke(t *testing.T) {
+	p := mustPipeline(t, "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", Options{})
+	d := Diagram(p)
+	for _, want := range []string{"LOOP3", "UBTB1", "Fetch-3", "respond", "final prediction"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+	id := InterfaceDiagram(3)
+	if !strings.Contains(id, "Fetch-0") || !strings.Contains(id, "predict signal") {
+		t.Errorf("interface diagram malformed:\n%s", id)
+	}
+}

@@ -1,0 +1,171 @@
+package history
+
+import (
+	"cobra/internal/bitutil"
+	"cobra/internal/sram"
+)
+
+// CircularGlobal is the pointer-into-circular-buffer global history register
+// the paper names as the efficient alternative to snapshot-based repair
+// (§IV-B.3: "A more efficient global-history register could be implemented
+// using pointers into a circular buffer").
+//
+// Instead of copying the whole register into every history-file entry, the
+// register is a circular buffer of outcome bits written at a head pointer;
+// a snapshot is just the head position (plus the folded-history values,
+// which still need copying — the reason real designs pair this with
+// rebuildable folds).  Restore rewinds the pointer; the bits beyond the
+// head are naturally overwritten by re-execution.
+//
+// The type mirrors Global's API so the two implementations can be compared
+// (see the equivalence property test); the composer uses Global for
+// simplicity, and the area model quotes both costs.
+type CircularGlobal struct {
+	length uint
+	buf    []uint64 // circular bit buffer, capacity >= 2*length bits
+	capLen uint     // capacity in bits (power of two)
+	head   uint     // absolute bit position of the next write
+	folds  []*bitutil.FoldedHistory
+}
+
+// NewCircularGlobal builds a circular-buffer history of `length` bits.
+func NewCircularGlobal(length uint) *CircularGlobal {
+	if length == 0 {
+		panic("history: circular global history length must be > 0")
+	}
+	capLen := uint(1)
+	for capLen < 2*length {
+		capLen <<= 1
+	}
+	return &CircularGlobal{
+		length: length,
+		buf:    make([]uint64, capLen/64+1),
+		capLen: capLen,
+	}
+}
+
+// Len returns the architected history length in bits.
+func (g *CircularGlobal) Len() uint { return g.length }
+
+// NewFold attaches a folded view (same contract as Global.NewFold).
+func (g *CircularGlobal) NewFold(histLen, width uint) *bitutil.FoldedHistory {
+	if histLen > g.length {
+		panic("history: fold longer than circular history register")
+	}
+	f := bitutil.NewFoldedHistory(histLen, width)
+	g.folds = append(g.folds, f)
+	return f
+}
+
+func (g *CircularGlobal) bitAt(pos uint) bool {
+	p := pos & (g.capLen - 1)
+	return g.buf[p/64]>>(p%64)&1 == 1
+}
+
+func (g *CircularGlobal) setBit(pos uint, v bool) {
+	p := pos & (g.capLen - 1)
+	if v {
+		g.buf[p/64] |= 1 << (p % 64)
+	} else {
+		g.buf[p/64] &^= 1 << (p % 64)
+	}
+}
+
+// Shift speculatively inserts one branch outcome.
+func (g *CircularGlobal) Shift(taken bool) {
+	for _, f := range g.folds {
+		old := false
+		if f.HistLen() > 0 {
+			old = g.Bit(f.HistLen() - 1)
+		}
+		f.Update(taken, old)
+	}
+	g.setBit(g.head, taken)
+	g.head++
+}
+
+// Bit returns the outcome `age` branches ago (0 = most recent).
+func (g *CircularGlobal) Bit(age uint) bool {
+	if age >= g.length {
+		return false
+	}
+	return g.bitAt(g.head - 1 - age + g.capLen)
+}
+
+// Bits returns the most recent n bits (n <= 64), most recent in bit 0.
+func (g *CircularGlobal) Bits(n uint) uint64 {
+	if n > 64 {
+		panic("history: Bits supports up to 64 bits")
+	}
+	if n > g.length {
+		n = g.length
+	}
+	var out uint64
+	for i := uint(0); i < n; i++ {
+		if g.Bit(i) {
+			out |= 1 << i
+		}
+	}
+	return out
+}
+
+// CircularSnapshot is the cheap checkpoint: the head pointer plus fold
+// values — no history bits are copied.
+type CircularSnapshot struct {
+	head  uint
+	folds []uint64
+}
+
+// Snapshot captures the pointer and folds.
+func (g *CircularGlobal) Snapshot() CircularSnapshot {
+	s := CircularSnapshot{head: g.head, folds: make([]uint64, len(g.folds))}
+	for i, f := range g.folds {
+		s.folds[i] = f.Fold()
+	}
+	return s
+}
+
+// Restore rewinds the pointer and folds.  Valid as long as no more than
+// capLen-length bits were inserted since the snapshot (the history file
+// bounds speculation depth well below that).
+func (g *CircularGlobal) Restore(s CircularSnapshot) {
+	if g.head-s.head > g.capLen-g.length {
+		panic("history: circular history snapshot expired (speculation too deep)")
+	}
+	g.head = s.head
+	for i, f := range g.folds {
+		f.SetRaw(s.folds[i])
+	}
+}
+
+// Reset clears the register.
+func (g *CircularGlobal) Reset() {
+	for i := range g.buf {
+		g.buf[i] = 0
+	}
+	g.head = 0
+	for _, f := range g.folds {
+		f.SetRaw(0)
+	}
+}
+
+// Budget reports storage: the buffer bits plus one pointer, versus
+// Global.Budget's full-register cost; per-history-file-entry cost drops
+// from `length` bits to log2(capLen) bits (quoted by SnapshotBits).
+func (g *CircularGlobal) Budget() sram.Budget {
+	bits := int(g.capLen) + int(bitutil.Clog2(int(g.capLen)))
+	for _, f := range g.folds {
+		bits += int(f.Width())
+	}
+	return sram.Budget{FlopBits: bits}
+}
+
+// SnapshotBits returns the per-checkpoint storage in bits (pointer +
+// folds), the quantity that shrinks the history file versus full snapshots.
+func (g *CircularGlobal) SnapshotBits() int {
+	bits := int(bitutil.Clog2(int(g.capLen)))
+	for _, f := range g.folds {
+		bits += int(f.Width())
+	}
+	return bits
+}

@@ -1,0 +1,135 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircularMatchesShiftRegister(t *testing.T) {
+	// Equivalence property: CircularGlobal behaves exactly like the
+	// snapshot-based Global under interleaved shifts and restores.
+	g := NewGlobal(48)
+	c := NewCircularGlobal(48)
+	gf := g.NewFold(30, 9)
+	cf := c.NewFold(30, 9)
+	rng := rand.New(rand.NewSource(11))
+
+	type pair struct {
+		gs Snapshot
+		cs CircularSnapshot
+	}
+	var cps []pair
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(10) {
+		case 0: // checkpoint
+			cps = append(cps, pair{g.Snapshot(), c.Snapshot()})
+		case 1: // restore a recent checkpoint (bounded speculation depth)
+			if len(cps) > 0 {
+				p := cps[len(cps)-1]
+				cps = cps[:len(cps)-1]
+				g.Restore(p.gs)
+				c.Restore(p.cs)
+			}
+		default:
+			b := rng.Intn(2) == 1
+			g.Shift(b)
+			c.Shift(b)
+			// Checkpoints expire as speculation advances; cap the stack.
+			if len(cps) > 8 {
+				cps = cps[1:]
+			}
+		}
+		if g.Bits(48) != c.Bits(48) {
+			t.Fatalf("step %d: bits diverge: %#x vs %#x", step, g.Bits(48), c.Bits(48))
+		}
+		if gf.Fold() != cf.Fold() {
+			t.Fatalf("step %d: folds diverge", step)
+		}
+	}
+}
+
+func TestCircularBitAges(t *testing.T) {
+	c := NewCircularGlobal(8)
+	c.Shift(true)
+	c.Shift(false)
+	c.Shift(true)
+	if !c.Bit(0) || c.Bit(1) || !c.Bit(2) {
+		t.Errorf("bit ages wrong: %v %v %v", c.Bit(0), c.Bit(1), c.Bit(2))
+	}
+	if c.Bit(100) {
+		t.Error("beyond-length bit must be false")
+	}
+}
+
+func TestCircularSnapshotIsCheap(t *testing.T) {
+	g := NewGlobal(128)
+	c := NewCircularGlobal(128)
+	c.NewFold(64, 12)
+	g.NewFold(64, 12)
+	// Snapshot cost: pointer+folds vs full register+folds.
+	if c.SnapshotBits() >= int(g.Len())+12 {
+		t.Errorf("circular snapshot (%d bits) should beat full snapshot (%d bits)",
+			c.SnapshotBits(), g.Len()+12)
+	}
+}
+
+func TestCircularRestoreExpiry(t *testing.T) {
+	c := NewCircularGlobal(8) // capacity 16 bits
+	s := c.Snapshot()
+	for i := 0; i < 9; i++ { // > capLen - length = 8 inserts
+		c.Shift(true)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected expiry panic for too-deep restore")
+		}
+	}()
+	c.Restore(s)
+}
+
+func TestCircularWrapAround(t *testing.T) {
+	// Property: after any long shift sequence the low bits match the last
+	// shifts regardless of wrap count.
+	f := func(seed int64, n uint8) bool {
+		c := NewCircularGlobal(16)
+		rng := rand.New(rand.NewSource(seed))
+		var last uint64
+		total := int(n) + 100
+		for i := 0; i < total; i++ {
+			b := rng.Intn(2) == 1
+			c.Shift(b)
+			last <<= 1
+			if b {
+				last |= 1
+			}
+		}
+		return c.Bits(16) == last&0xFFFF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircularReset(t *testing.T) {
+	c := NewCircularGlobal(8)
+	fd := c.NewFold(8, 4)
+	c.Shift(true)
+	c.Reset()
+	if c.Bits(8) != 0 || fd.Fold() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCircularBudget(t *testing.T) {
+	c := NewCircularGlobal(64)
+	if c.Budget().TotalBits() == 0 {
+		t.Error("zero budget")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-length must panic")
+		}
+	}()
+	NewCircularGlobal(0)
+}

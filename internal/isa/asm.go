@@ -1,0 +1,292 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// asmUnit is the parsed assembly: instructions with label references plus
+// data segments.
+type asmUnit struct {
+	insts  []inst
+	labels map[string]int // label -> instruction index
+	data   map[string]uint64
+	words  []dataWord
+}
+
+type dataWord struct {
+	addr uint64
+	val  int64
+}
+
+// dataBase is where .data labels are allocated.
+const dataBase = 0x10_0000
+
+// parse assembles the source text.
+func parse(src string) (*asmUnit, error) {
+	u := &asmUnit{labels: map[string]int{}, data: map[string]uint64{}}
+	dataCursor := uint64(dataBase)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+
+		if strings.HasPrefix(line, ".data") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("isa: line %d: .data needs a label", lineNo)
+			}
+			label := fields[1]
+			if _, dup := u.data[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate data label %q", lineNo, label)
+			}
+			u.data[label] = dataCursor
+			for _, f := range fields[2:] {
+				v, err := strconv.ParseInt(f, 0, 64)
+				if err != nil {
+					return nil, fmt.Errorf("isa: line %d: bad data value %q", lineNo, f)
+				}
+				u.words = append(u.words, dataWord{addr: dataCursor, val: v})
+				dataCursor += 8
+			}
+			if len(fields) == 2 {
+				dataCursor += 8 // reserve one word for bare labels
+			}
+			continue
+		}
+
+		if strings.HasPrefix(line, ".space") {
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("isa: line %d: .space needs a label and a word count", lineNo)
+			}
+			label := fields[1]
+			if _, dup := u.data[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate data label %q", lineNo, label)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("isa: line %d: bad .space count %q", lineNo, fields[2])
+			}
+			u.data[label] = dataCursor
+			dataCursor += uint64(n) * 8
+			continue
+		}
+
+		// Code labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t(") {
+				label := line[:i]
+				if _, dup := u.labels[label]; dup {
+					return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo, label)
+				}
+				u.labels[label] = len(u.insts)
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		in, err := parseInst(line, lineNo, u)
+		if err != nil {
+			return nil, err
+		}
+		u.insts = append(u.insts, in...)
+	}
+	// Resolve label references.
+	for i := range u.insts {
+		in := &u.insts[i]
+		if in.target == "" {
+			continue
+		}
+		if in.op == opLa {
+			if addr, ok := u.data[in.target]; ok {
+				in.imm = int64(addr)
+				in.op = opAddi
+				in.rs1 = 0
+				in.target = ""
+				continue
+			}
+			if idx, ok := u.labels[in.target]; ok {
+				// Code-label address: resolved against the code base by the
+				// bridge (jump tables for jr).
+				in.imm = int64(idx)
+				in.op = opLaCode
+				in.target = ""
+				continue
+			}
+			return nil, fmt.Errorf("isa: line %d: unknown label %q", in.line, in.target)
+		}
+		if _, ok := u.labels[in.target]; !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown label %q", in.line, in.target)
+		}
+	}
+	if len(u.insts) == 0 {
+		return nil, fmt.Errorf("isa: empty program")
+	}
+	return u, nil
+}
+
+// opLa is the internal pseudo-op for `la` before label resolution; opLaCode
+// marks a code-label address materialization resolved by the bridge.
+const (
+	opLa     = opcode(200)
+	opLaCode = opcode(201)
+)
+
+func parseInst(line string, lineNo int, u *asmUnit) ([]inst, error) {
+	fields := strings.FieldsFunc(line, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("isa: line %d: no instruction in %q", lineNo, line)
+	}
+	mn := strings.ToLower(fields[0])
+	args := fields[1:]
+	bad := func(msg string) ([]inst, error) {
+		return nil, fmt.Errorf("isa: line %d: %s in %q", lineNo, msg, line)
+	}
+	reg := func(s string) (uint8, bool) {
+		s = strings.ToLower(s)
+		if s == "zero" {
+			return 0, true
+		}
+		if !strings.HasPrefix(s, "r") {
+			return 0, false
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n > 31 {
+			return 0, false
+		}
+		return uint8(n), true
+	}
+	imm := func(s string) (int64, bool) {
+		v, err := strconv.ParseInt(s, 0, 64)
+		return v, err == nil
+	}
+
+	switch mn {
+	case "add", "sub", "mul", "and", "or", "xor", "slt", "sll", "srl":
+		if len(args) != 3 {
+			return bad("need rd, rs1, rs2")
+		}
+		rd, ok1 := reg(args[0])
+		r1, ok2 := reg(args[1])
+		r2, ok3 := reg(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return bad("bad register")
+		}
+		return []inst{{op: opNames[mn], rd: rd, rs1: r1, rs2: r2, line: lineNo}}, nil
+	case "addi", "slti":
+		if len(args) != 3 {
+			return bad("need rd, rs1, imm")
+		}
+		rd, ok1 := reg(args[0])
+		r1, ok2 := reg(args[1])
+		v, ok3 := imm(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return bad("bad operand")
+		}
+		return []inst{{op: opNames[mn], rd: rd, rs1: r1, imm: v, line: lineNo}}, nil
+	case "li":
+		if len(args) != 2 {
+			return bad("need rd, imm")
+		}
+		rd, ok1 := reg(args[0])
+		v, ok2 := imm(args[1])
+		if !ok1 || !ok2 {
+			return bad("bad operand")
+		}
+		return []inst{{op: opAddi, rd: rd, rs1: 0, imm: v, line: lineNo}}, nil
+	case "mv":
+		if len(args) != 2 {
+			return bad("need rd, rs")
+		}
+		rd, ok1 := reg(args[0])
+		r1, ok2 := reg(args[1])
+		if !ok1 || !ok2 {
+			return bad("bad register")
+		}
+		return []inst{{op: opAddi, rd: rd, rs1: r1, line: lineNo}}, nil
+	case "la":
+		if len(args) != 2 {
+			return bad("need rd, label")
+		}
+		rd, ok := reg(args[0])
+		if !ok {
+			return bad("bad register")
+		}
+		return []inst{{op: opLa, rd: rd, target: args[1], line: lineNo}}, nil
+	case "ld", "st":
+		if len(args) != 2 {
+			return bad("need reg, off(base)")
+		}
+		r, ok := reg(args[0])
+		if !ok {
+			return bad("bad register")
+		}
+		mem := args[1]
+		op := strings.IndexByte(mem, '(')
+		cl := strings.IndexByte(mem, ')')
+		if op < 0 || cl < op {
+			return bad("bad memory operand")
+		}
+		off := int64(0)
+		if op > 0 {
+			v, ok := imm(mem[:op])
+			if !ok {
+				return bad("bad offset")
+			}
+			off = v
+		}
+		base, ok := reg(mem[op+1 : cl])
+		if !ok {
+			return bad("bad base register")
+		}
+		if mn == "ld" {
+			return []inst{{op: opLd, rd: r, rs1: base, imm: off, line: lineNo}}, nil
+		}
+		return []inst{{op: opSt, rs2: r, rs1: base, imm: off, line: lineNo}}, nil
+	case "beq", "bne", "blt", "bge":
+		if len(args) != 3 {
+			return bad("need rs1, rs2, label")
+		}
+		r1, ok1 := reg(args[0])
+		r2, ok2 := reg(args[1])
+		if !ok1 || !ok2 {
+			return bad("bad register")
+		}
+		return []inst{{op: opNames[mn], rs1: r1, rs2: r2, target: args[2], line: lineNo}}, nil
+	case "j", "jal":
+		if len(args) != 1 {
+			return bad("need label")
+		}
+		return []inst{{op: opNames[mn], target: args[0], line: lineNo}}, nil
+	case "ret":
+		if len(args) != 0 {
+			return bad("ret takes no operands")
+		}
+		return []inst{{op: opRet, line: lineNo}}, nil
+	case "jr":
+		if len(args) != 1 {
+			return bad("need rs")
+		}
+		r, ok := reg(args[0])
+		if !ok {
+			return bad("bad register")
+		}
+		return []inst{{op: opJr, rs1: r, line: lineNo}}, nil
+	case "nop":
+		return []inst{{op: opNop, line: lineNo}}, nil
+	}
+	return bad("unknown mnemonic " + mn)
+}

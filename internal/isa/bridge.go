@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"fmt"
+
+	"cobra/internal/program"
+)
+
+// codeBase is where assembled instructions are placed.
+const codeBase = 0x1000
+
+// bridgeSem executes one ALU instruction's semantics.
+type bridgeSem struct {
+	m  *Machine
+	in *inst
+}
+
+// Exec implements program.SemBehavior.
+func (b *bridgeSem) Exec(*program.State) { b.m.exec(b.in) }
+
+// bridgeDir evaluates a conditional branch against live machine state.
+type bridgeDir struct {
+	m  *Machine
+	in *inst
+}
+
+// Next implements program.DirBehavior.
+func (b *bridgeDir) Next(*program.State) bool { return b.m.branchTaken(b.in) }
+
+// bridgeTgt reads an indirect target from a register.
+type bridgeTgt struct {
+	m  *Machine
+	rs uint8
+}
+
+// NextTarget implements program.TgtBehavior.
+func (b *bridgeTgt) NextTarget(*program.State) uint64 { return uint64(b.m.reg(b.rs)) }
+
+// bridgeMem computes a memory address and performs the access (loads write
+// the destination register; stores write memory).
+type bridgeMem struct {
+	m      *Machine
+	in     *inst
+	isLoad bool
+}
+
+// NextAddr implements program.MemBehavior.
+func (b *bridgeMem) NextAddr(*program.State) uint64 {
+	addr := uint64(b.m.reg(b.in.rs1) + b.in.imm)
+	if b.isLoad {
+		b.m.setReg(b.in.rd, b.m.Load(addr))
+	} else {
+		b.m.Store(addr, b.m.reg(b.in.rs2))
+	}
+	return addr
+}
+
+// Compile assembles source text into an executable program image plus the
+// machine it interprets.  The returned Program is single-use, like every
+// program: its behaviours mutate the machine in committed order.
+func Compile(name, src string) (*program.Program, *Machine, error) {
+	u, err := parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := NewMachine()
+	for _, w := range u.words {
+		m.Store(w.addr, w.val)
+	}
+	p := program.New(name, codeBase, 4)
+	pcOf := func(idx int) uint64 { return codeBase + uint64(idx)*4 }
+
+	for idx := range u.insts {
+		in := &u.insts[idx]
+		pi := &program.Inst{PC: pcOf(idx), Kind: program.KindOp, Class: program.ClassALU}
+		switch in.op {
+		case opAdd, opSub, opAnd, opOr, opXor, opSlt, opSll, opSrl:
+			pi.Sem = &bridgeSem{m, in}
+			pi.Dst, pi.Src1, pi.Src2 = in.rd, in.rs1, in.rs2
+		case opMul:
+			pi.Sem = &bridgeSem{m, in}
+			pi.Class = program.ClassMul
+			pi.Dst, pi.Src1, pi.Src2 = in.rd, in.rs1, in.rs2
+		case opAddi, opSlti:
+			pi.Sem = &bridgeSem{m, in}
+			pi.Dst, pi.Src1 = in.rd, in.rs1
+		case opLaCode:
+			// Resolved here: the label's code address.
+			resolved := *in
+			resolved.op = opAddi
+			resolved.rs1 = 0
+			resolved.imm = int64(pcOf(int(in.imm)))
+			u.insts[idx] = resolved
+			pi.Sem = &bridgeSem{m, &u.insts[idx]}
+			pi.Dst = in.rd
+		case opLd:
+			pi.Class = program.ClassLoad
+			pi.Mem = &bridgeMem{m, in, true}
+			pi.Dst, pi.Src1 = in.rd, in.rs1
+		case opSt:
+			pi.Class = program.ClassStore
+			pi.Mem = &bridgeMem{m, in, false}
+			pi.Src1, pi.Src2 = in.rs1, in.rs2
+		case opBeq, opBne, opBlt, opBge:
+			pi.Kind = program.KindBranch
+			pi.Dir = &bridgeDir{m, in}
+			pi.Target = pcOf(u.labels[in.target])
+			pi.Src1, pi.Src2 = in.rs1, in.rs2
+		case opJ:
+			pi.Kind = program.KindJump
+			pi.Target = pcOf(u.labels[in.target])
+		case opJal:
+			pi.Kind = program.KindCall
+			pi.Target = pcOf(u.labels[in.target])
+		case opRet:
+			pi.Kind = program.KindRet
+		case opJr:
+			pi.Kind = program.KindIndirect
+			pi.Tgt = &bridgeTgt{m, in.rs1}
+			pi.Src1 = in.rs1
+		case opNop:
+		default:
+			return nil, nil, fmt.Errorf("isa: line %d: unhandled opcode %d", in.line, in.op)
+		}
+		p.Add(pi)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("isa: %s: %w (programs must loop forever and never fall off the image)", name, err)
+	}
+	return p, m, nil
+}
+
+// MustCompile is Compile for known-good sources.
+func MustCompile(name, src string) *program.Program {
+	p, _, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,27 @@
+package isa
+
+import "testing"
+
+// FuzzCompile asserts the assembler never panics: any input either compiles
+// to a validated program or returns an error.
+func FuzzCompile(f *testing.F) {
+	f.Add(SortSource)
+	f.Add(FibSource)
+	f.Add(DispatchSource)
+	f.Add("start: nop\nj start")
+	f.Add(".data x 1 2 3\n.space y 4\nla r1, x\nj m\nm: j m")
+	f.Add("beq r1, r2, q\nq: j q")
+	f.Add("ld r1, -8(r2)\nj m\nm: j m")
+	f.Add("add r1 r2 r3")
+	f.Add(": : :")
+	f.Add(".data\n.space\n(")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, _, err := Compile("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Compile accepted a program that fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package isa provides a small RISC-style instruction set with an
+// assembler and interpreter, bridged onto the program substrate.
+//
+// The behaviour-closure workloads (internal/workloads) shape branch
+// *statistics*; this package goes further and executes real semantics:
+// register dataflow, memory contents, and control flow are computed, so
+// branch outcomes are genuinely data-dependent — a quicksort's compare
+// branches mispredict because of the data, a recursive call tree exercises
+// the RAS because the code actually recurses.  The bridge emits
+// program.Program instructions whose behaviours interpret the machine in
+// committed order, which is exactly when the architectural oracle asks.
+//
+// The ISA (4-byte instructions, matching the default fetch geometry):
+//
+//	add/sub/mul/and/or/xor/slt/sll/srl rd, rs1, rs2
+//	addi/slti rd, rs1, imm
+//	li rd, imm          (pseudo: addi rd, zero, imm)
+//	mv rd, rs           (pseudo: addi rd, rs, 0)
+//	la rd, label        (load a data label's address)
+//	ld rd, off(rs1)     (64-bit load)
+//	st rs2, off(rs1)    (64-bit store)
+//	beq/bne/blt/bge rs1, rs2, label
+//	j label             (unconditional jump)
+//	jal label           (call; return address implicit)
+//	ret                 (return)
+//	jr rs               (indirect jump through a register)
+//	nop
+//
+// Registers r0..r31; r0 ("zero") reads as 0.  Data is declared with
+//
+//	.data label  v0 v1 v2 ...
+//
+// Programs run forever (the oracle's convention): the assembler requires
+// the text to end in control flow that stays inside the image.
+package isa
+
+import "fmt"
+
+// Machine is the architectural state interpreted by the bridged program.
+type Machine struct {
+	Regs [32]int64
+	mem  map[uint64]int64
+}
+
+// NewMachine returns an empty machine.
+func NewMachine() *Machine {
+	return &Machine{mem: make(map[uint64]int64)}
+}
+
+// Load reads a 64-bit word (unaligned addresses are truncated to 8 bytes).
+func (m *Machine) Load(addr uint64) int64 { return m.mem[addr&^7] }
+
+// Store writes a 64-bit word.
+func (m *Machine) Store(addr uint64, v int64) { m.mem[addr&^7] = v }
+
+// reg reads a register (r0 is hardwired to zero).
+func (m *Machine) reg(i uint8) int64 {
+	if i == 0 {
+		return 0
+	}
+	return m.Regs[i&31]
+}
+
+func (m *Machine) setReg(i uint8, v int64) {
+	if i != 0 {
+		m.Regs[i&31] = v
+	}
+}
+
+// opcode is the ALU/branch operation selector.
+type opcode uint8
+
+// Opcodes.
+const (
+	opAdd opcode = iota
+	opSub
+	opMul
+	opAnd
+	opOr
+	opXor
+	opSlt
+	opSll
+	opSrl
+	opAddi
+	opSlti
+	opLd
+	opSt
+	opBeq
+	opBne
+	opBlt
+	opBge
+	opJ
+	opJal
+	opRet
+	opJr
+	opNop
+)
+
+var opNames = map[string]opcode{
+	"add": opAdd, "sub": opSub, "mul": opMul, "and": opAnd, "or": opOr,
+	"xor": opXor, "slt": opSlt, "sll": opSll, "srl": opSrl,
+	"addi": opAddi, "slti": opSlti,
+	"ld": opLd, "st": opSt,
+	"beq": opBeq, "bne": opBne, "blt": opBlt, "bge": opBge,
+	"j": opJ, "jal": opJal, "ret": opRet, "jr": opJr, "nop": opNop,
+}
+
+// inst is one decoded instruction.
+type inst struct {
+	op       opcode
+	rd       uint8
+	rs1, rs2 uint8
+	imm      int64
+	target   string // label for branches/jumps
+	line     int
+}
+
+// exec runs one non-control instruction's semantics.
+func (m *Machine) exec(i *inst) {
+	switch i.op {
+	case opAdd:
+		m.setReg(i.rd, m.reg(i.rs1)+m.reg(i.rs2))
+	case opSub:
+		m.setReg(i.rd, m.reg(i.rs1)-m.reg(i.rs2))
+	case opMul:
+		m.setReg(i.rd, m.reg(i.rs1)*m.reg(i.rs2))
+	case opAnd:
+		m.setReg(i.rd, m.reg(i.rs1)&m.reg(i.rs2))
+	case opOr:
+		m.setReg(i.rd, m.reg(i.rs1)|m.reg(i.rs2))
+	case opXor:
+		m.setReg(i.rd, m.reg(i.rs1)^m.reg(i.rs2))
+	case opSlt:
+		if m.reg(i.rs1) < m.reg(i.rs2) {
+			m.setReg(i.rd, 1)
+		} else {
+			m.setReg(i.rd, 0)
+		}
+	case opSll:
+		m.setReg(i.rd, m.reg(i.rs1)<<(uint64(m.reg(i.rs2))&63))
+	case opSrl:
+		m.setReg(i.rd, int64(uint64(m.reg(i.rs1))>>(uint64(m.reg(i.rs2))&63)))
+	case opAddi:
+		m.setReg(i.rd, m.reg(i.rs1)+i.imm)
+	case opSlti:
+		if m.reg(i.rs1) < i.imm {
+			m.setReg(i.rd, 1)
+		} else {
+			m.setReg(i.rd, 0)
+		}
+	case opNop:
+	default:
+		panic(fmt.Sprintf("isa: exec of control op %d", i.op))
+	}
+}
+
+// branchTaken evaluates a conditional branch.
+func (m *Machine) branchTaken(i *inst) bool {
+	a, b := m.reg(i.rs1), m.reg(i.rs2)
+	switch i.op {
+	case opBeq:
+		return a == b
+	case opBne:
+		return a != b
+	case opBlt:
+		return a < b
+	case opBge:
+		return a >= b
+	}
+	panic("isa: branchTaken on non-branch")
+}

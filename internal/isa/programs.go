@@ -1,0 +1,221 @@
+package isa
+
+// Sample programs for the interpreted-ISA workloads.  Each loops forever
+// (the oracle's convention) and re-randomizes its data with an in-assembly
+// xorshift so branch behaviour does not settle into a fixed trace.
+//
+// Register conventions (informal): r2 = data stack pointer, r5-r9 common
+// scratch, r10 argument/return for fib.
+
+// SortSource is an insertion sort over an array refilled with xorshift
+// pseudo-random values each outer iteration — the compare and shift
+// branches are genuinely data-dependent.
+const SortSource = `
+.data arr   0 0 0 0 0 0 0 0 0 0 0 0
+.data seedw 88172645463325252
+.data nelem 12
+
+start:
+main:
+    jal refill
+    jal isort
+    jal check
+    j main
+
+# --- refill arr with xorshift values (bounded to 0..255) ---
+refill:
+    la r5, seedw
+    ld r6, 0(r5)
+    la r7, arr
+    li r8, 0
+    la r9, nelem
+    ld r9, 0(r9)
+rf_loop:
+    li r11, 13
+    sll r12, r6, r11
+    xor r6, r6, r12
+    li r11, 7
+    srl r12, r6, r11
+    xor r6, r6, r12
+    li r11, 17
+    sll r12, r6, r11
+    xor r6, r6, r12
+    li r11, 255
+    and r12, r6, r11
+    li r11, 3
+    sll r13, r8, r11
+    add r13, r13, r7
+    st r12, 0(r13)
+    addi r8, r8, 1
+    blt r8, r9, rf_loop
+    st r6, 0(r5)
+    ret
+
+# --- insertion sort ---
+isort:
+    la r7, arr
+    li r8, 1
+    la r9, nelem
+    ld r9, 0(r9)
+is_outer:
+    bge r8, r9, is_done
+    li r11, 3
+    sll r12, r8, r11
+    add r12, r12, r7
+    ld r13, 0(r12)
+    mv r14, r8
+is_inner:
+    addi r15, r14, -1
+    blt r15, zero, is_place
+    li r11, 3
+    sll r16, r15, r11
+    add r16, r16, r7
+    ld r17, 0(r16)
+    bge r13, r17, is_place
+    li r11, 3
+    sll r18, r14, r11
+    add r18, r18, r7
+    st r17, 0(r18)
+    mv r14, r15
+    j is_inner
+is_place:
+    li r11, 3
+    sll r18, r14, r11
+    add r18, r18, r7
+    st r13, 0(r18)
+    addi r8, r8, 1
+    j is_outer
+is_done:
+    ret
+
+# --- verify sortedness (r20 = 1 if sorted) ---
+check:
+    la r7, arr
+    li r8, 1
+    la r9, nelem
+    ld r9, 0(r9)
+    li r20, 1
+ck_loop:
+    bge r8, r9, ck_done
+    li r11, 3
+    sll r12, r8, r11
+    add r12, r12, r7
+    ld r13, 0(r12)
+    addi r14, r12, -8
+    ld r15, 0(r14)
+    bge r13, r15, ck_next
+    li r20, 0
+ck_next:
+    addi r8, r8, 1
+    j ck_loop
+ck_done:
+    ret
+`
+
+// FibSource computes fib(12) recursively with an explicit data stack —
+// a deep, regular call tree stressing the return-address stack.
+const FibSource = `
+.space stk 256
+.data  acc 0
+
+start:
+    la r2, stk
+main:
+    li r10, 12
+    jal fib
+    la r5, acc
+    ld r6, 0(r5)
+    add r6, r6, r10
+    st r6, 0(r5)
+    j main
+
+# fib(n): argument and result in r10; r2 is the stack pointer
+fib:
+    li r11, 2
+    blt r10, r11, fib_base
+    st r10, 0(r2)
+    addi r2, r2, 8
+    addi r10, r10, -1
+    jal fib
+    addi r2, r2, -8
+    ld r11, 0(r2)
+    st r10, 0(r2)
+    addi r2, r2, 8
+    addi r10, r11, -2
+    jal fib
+    addi r2, r2, -8
+    ld r11, 0(r2)
+    add r10, r10, r11
+    ret
+fib_base:
+    ret
+`
+
+// DispatchSource builds a jump table at run time (la of code labels) and
+// dispatches through jr on xorshift-selected cases — the polymorphic
+// indirect-branch workload, with real computed targets.
+const DispatchSource = `
+.data seedw 2463534242
+.space jt   4
+.data acc   0
+
+start:
+    # build the jump table
+    la r5, jt
+    la r6, case0
+    st r6, 0(r5)
+    la r6, case1
+    st r6, 8(r5)
+    la r6, case2
+    st r6, 16(r5)
+    la r6, case3
+    st r6, 24(r5)
+main:
+    # advance the seed
+    la r5, seedw
+    ld r6, 0(r5)
+    li r11, 13
+    sll r12, r6, r11
+    xor r6, r6, r12
+    li r11, 7
+    srl r12, r6, r11
+    xor r6, r6, r12
+    li r11, 17
+    sll r12, r6, r11
+    xor r6, r6, r12
+    st r6, 0(r5)
+    # select a case
+    li r11, 3
+    and r12, r6, r11
+    sll r12, r12, r11
+    la r13, jt
+    add r13, r13, r12
+    ld r14, 0(r13)
+    jr r14
+
+case0:
+    la r5, acc
+    ld r6, 0(r5)
+    addi r6, r6, 1
+    st r6, 0(r5)
+    j main
+case1:
+    la r5, acc
+    ld r6, 0(r5)
+    addi r6, r6, 3
+    st r6, 0(r5)
+    li r7, 2
+    mul r6, r6, r7
+    j main
+case2:
+    la r5, acc
+    ld r6, 0(r5)
+    li r7, 1
+    srl r6, r6, r7
+    st r6, 0(r5)
+    j main
+case3:
+    nop
+    nop
+    j main
+`

@@ -1,0 +1,175 @@
+package program
+
+import "fmt"
+
+// Builder assembles synthetic programs: straight-line ops, loops with
+// back-edges, forward "hammock" branches, calls/returns, and indirect
+// switches, with register dataflow assigned for the backend's dependency
+// model.  Forward control flow uses fixup handles so targets can be bound
+// after the body is emitted.
+type Builder struct {
+	p   *Program
+	pc  uint64
+	rng uint64
+}
+
+// NewBuilder starts building at entry.
+func NewBuilder(name string, entry uint64, instBytes int, seed uint64) *Builder {
+	if seed == 0 {
+		seed = 0xDEADBEEF
+	}
+	return &Builder{p: New(name, entry, instBytes), pc: entry, rng: seed}
+}
+
+// PC returns the address of the next emitted instruction (usable as a
+// backward label).
+func (b *Builder) PC() uint64 { return b.pc }
+
+func (b *Builder) rand() uint64 {
+	x := b.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	b.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (b *Builder) reg() uint8 { return uint8(1 + b.rand()%31) }
+
+func (b *Builder) emit(i *Inst) *Inst {
+	i.PC = b.pc
+	b.p.Add(i)
+	b.pc += uint64(b.p.InstBytes)
+	return i
+}
+
+// Op emits one non-CFI instruction of the given class with random registers.
+func (b *Builder) Op(class Class) *Inst {
+	i := &Inst{Kind: KindOp, Class: class, Dst: b.reg(), Src1: b.reg(), Src2: b.reg()}
+	return b.emit(i)
+}
+
+// Ops emits n ALU-weighted ops with the given load/store/fp mix (fractions
+// of n, approximately).
+func (b *Builder) Ops(n int, loadFrac, storeFrac, fpFrac float64, mem func() MemBehavior) {
+	for k := 0; k < n; k++ {
+		r := float64(b.rand()>>11) / float64(1<<53)
+		switch {
+		case r < loadFrac:
+			i := b.Op(ClassLoad)
+			i.Mem = mem()
+		case r < loadFrac+storeFrac:
+			i := b.Op(ClassStore)
+			i.Mem = mem()
+		case r < loadFrac+storeFrac+fpFrac:
+			b.Op(ClassFP)
+		default:
+			b.Op(ClassALU)
+		}
+	}
+}
+
+// Branch emits a conditional branch to a known (backward) target.
+func (b *Builder) Branch(target uint64, dir DirBehavior) *Inst {
+	return b.emit(&Inst{Kind: KindBranch, Class: ClassALU, Target: target, Dir: dir,
+		Src1: b.reg(), Src2: b.reg()})
+}
+
+// Fixup is an unresolved forward control-flow edge.
+type Fixup struct {
+	inst *Inst
+	b    *Builder
+}
+
+// Bind points the pending edge at the next emitted instruction.
+func (f *Fixup) Bind() {
+	f.inst.Target = f.b.pc
+}
+
+// BindTo points the pending edge at a known address (e.g. a loop head).
+func (f *Fixup) BindTo(target uint64) {
+	f.inst.Target = target
+}
+
+// ForwardBranch emits a conditional branch whose target is bound later.
+func (b *Builder) ForwardBranch(dir DirBehavior) *Fixup {
+	i := b.emit(&Inst{Kind: KindBranch, Class: ClassALU, Dir: dir,
+		Src1: b.reg(), Src2: b.reg()})
+	return &Fixup{inst: i, b: b}
+}
+
+// ForwardJump emits an unconditional jump bound later.
+func (b *Builder) ForwardJump() *Fixup {
+	i := b.emit(&Inst{Kind: KindJump, Class: ClassALU})
+	return &Fixup{inst: i, b: b}
+}
+
+// Jump emits an unconditional jump to a known target.
+func (b *Builder) Jump(target uint64) *Inst {
+	return b.emit(&Inst{Kind: KindJump, Class: ClassALU, Target: target})
+}
+
+// Call emits a call to a function entry.
+func (b *Builder) Call(target uint64) *Inst {
+	return b.emit(&Inst{Kind: KindCall, Class: ClassALU, Target: target})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() *Inst {
+	return b.emit(&Inst{Kind: KindRet, Class: ClassALU})
+}
+
+// Indirect emits an indirect jump with the given target behaviour.
+func (b *Builder) Indirect(tgt TgtBehavior) *Inst {
+	return b.emit(&Inst{Kind: KindIndirect, Class: ClassALU, Tgt: tgt})
+}
+
+// Loop emits: header label; body (built by f); back-edge branch taken
+// trip-1 times.  The loop body must not fall off the image.
+func (b *Builder) Loop(trip int, f func()) {
+	head := b.pc
+	f()
+	b.Branch(head, &LoopDir{Trip: trip})
+}
+
+// Hammock emits a short forward branch (taken with probability skipP) over
+// a body of n ops — the "set-flag and conditional-execute" candidate of
+// §VI-C.  Returns the branch instruction.
+func (b *Builder) Hammock(skipP float64, n int, class Class) *Inst {
+	fx := b.ForwardBranch(&BiasedDir{P: skipP})
+	for k := 0; k < n; k++ {
+		b.Op(class)
+	}
+	fx.Bind()
+	// Landing pad so the bound target exists even at a block boundary.
+	b.Op(ClassALU)
+	return fx.inst
+}
+
+// Func builds a function: records its entry, runs f for the body, emits the
+// return, and gives back the entry address.
+func (b *Builder) Func(f func()) uint64 {
+	entry := b.pc
+	f()
+	b.Ret()
+	return entry
+}
+
+// Seal finishes the program: emits a jump back to the entry (so execution
+// never falls off the image) and validates the result.
+func (b *Builder) Seal() (*Program, error) {
+	b.Jump(b.p.Entry)
+	if err := b.p.Validate(); err != nil {
+		return nil, fmt.Errorf("program: seal: %w", err)
+	}
+	return b.p, nil
+}
+
+// MustSeal is Seal for known-good builders.
+func (b *Builder) MustSeal() *Program {
+	p, err := b.Seal()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

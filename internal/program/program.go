@@ -1,0 +1,172 @@
+// Package program is the workload substrate: a synthetic program image
+// (instructions at addresses, control flow with parameterized dynamic
+// behaviours) plus an architectural oracle that produces the committed
+// instruction stream.
+//
+// The paper evaluates on SPECint17 binaries running under FPGA simulation;
+// neither SPEC nor an FPGA is available here, so workloads are synthetic
+// programs whose *branch populations* — loops with trip counts, global
+// pattern branches, data-correlated branches, hard random branches, indirect
+// jumps, call/return trees — are shaped per benchmark profile (see
+// internal/workloads and DESIGN.md for the substitution rationale).
+//
+// The split between Program (static image) and Oracle (dynamic truth)
+// matters for fidelity: the frontend model fetches from the static image
+// along the *predicted* path — including wrong paths — while actual branch
+// outcomes exist only on the committed path, exactly as in hardware.
+package program
+
+import "fmt"
+
+// Kind classifies an instruction's control-flow role.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KindOp Kind = iota
+	KindBranch
+	KindJump
+	KindCall
+	KindRet
+	KindIndirect
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOp:
+		return "op"
+	case KindBranch:
+		return "branch"
+	case KindJump:
+		return "jump"
+	case KindCall:
+		return "call"
+	case KindRet:
+		return "ret"
+	case KindIndirect:
+		return "indirect"
+	}
+	return "invalid"
+}
+
+// IsCFI reports whether the kind redirects control flow.
+func (k Kind) IsCFI() bool { return k != KindOp }
+
+// Class is the execution class driving the backend timing model.
+type Class uint8
+
+// Execution classes (mapped to the BOOM issue queues of Table II).
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassLoad
+	ClassStore
+	ClassFP
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassFP:
+		return "fp"
+	}
+	return "invalid"
+}
+
+// Inst is one instruction of the synthetic image.
+type Inst struct {
+	PC     uint64
+	Kind   Kind
+	Class  Class
+	Target uint64 // static target (branch/jump/call); 0 for ret/indirect
+
+	Dir DirBehavior // branches: dynamic direction
+	Tgt TgtBehavior // indirect jumps: dynamic target
+	Mem MemBehavior // loads/stores: address stream
+	Sem SemBehavior // optional computational semantics (interpreted ISAs)
+
+	// Register dataflow for the backend's dependency model (0 = none).
+	Dst, Src1, Src2 uint8
+}
+
+// Program is a closed static instruction image.
+//
+// Branch/target/memory behaviours attached to instructions are *stateful*
+// (loop counters, pattern phases): a Program instance supports exactly one
+// architectural execution.  Build a fresh instance per simulation — the
+// workloads package generators are deterministic, so two builds with the
+// same profile produce identical dynamics.
+type Program struct {
+	Name      string
+	Entry     uint64
+	InstBytes int
+	insts     map[uint64]*Inst
+}
+
+// New creates an empty program.
+func New(name string, entry uint64, instBytes int) *Program {
+	return &Program{Name: name, Entry: entry, InstBytes: instBytes,
+		insts: make(map[uint64]*Inst)}
+}
+
+// Add inserts an instruction; duplicate PCs are a builder bug.
+func (p *Program) Add(i *Inst) {
+	if _, dup := p.insts[i.PC]; dup {
+		panic(fmt.Sprintf("program: duplicate instruction at %#x", i.PC))
+	}
+	p.insts[i.PC] = i
+}
+
+// At returns the instruction at pc, or nil outside the image (wrong-path
+// fetch beyond the program fetches garbage, modelled as nil -> NOP).
+func (p *Program) At(pc uint64) *Inst { return p.insts[pc] }
+
+// Len returns the number of instructions in the image.
+func (p *Program) Len() int { return len(p.insts) }
+
+// Validate checks the image is closed: every static target exists, every
+// branch has a direction behaviour, every indirect a target behaviour.
+func (p *Program) Validate() error {
+	for pc, i := range p.insts {
+		if i.PC != pc {
+			return fmt.Errorf("program %s: inst PC %#x filed under %#x", p.Name, i.PC, pc)
+		}
+		switch i.Kind {
+		case KindBranch:
+			if i.Dir == nil {
+				return fmt.Errorf("program %s: branch at %#x has no direction behaviour", p.Name, pc)
+			}
+			if p.insts[i.Target] == nil {
+				return fmt.Errorf("program %s: branch at %#x targets %#x outside image", p.Name, pc, i.Target)
+			}
+		case KindJump, KindCall:
+			if p.insts[i.Target] == nil {
+				return fmt.Errorf("program %s: %s at %#x targets %#x outside image", p.Name, i.Kind, pc, i.Target)
+			}
+		case KindIndirect:
+			if i.Tgt == nil {
+				return fmt.Errorf("program %s: indirect at %#x has no target behaviour", p.Name, pc)
+			}
+		}
+		if i.Kind == KindOp || i.Kind == KindBranch {
+			// Fall-through successor must exist.
+			if p.insts[pc+uint64(p.InstBytes)] == nil {
+				return fmt.Errorf("program %s: %s at %#x falls through outside image", p.Name, i.Kind, pc)
+			}
+		}
+		if (i.Class == ClassLoad || i.Class == ClassStore) && i.Mem == nil {
+			return fmt.Errorf("program %s: memory op at %#x has no address behaviour", p.Name, pc)
+		}
+	}
+	if p.insts[p.Entry] == nil {
+		return fmt.Errorf("program %s: entry %#x outside image", p.Name, p.Entry)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package sram models the synchronous memories backing predictor
+// sub-components.
+//
+// The paper stresses (§III-D) that predictor structures ought to be
+// implemented as area-efficient single- or dual-ported SRAMs, and that the
+// metadata field exists partly to avoid a second read port at update time.
+// This package gives every table an explicit Spec (entries × width × ports)
+// so that:
+//
+//   - port discipline can be *checked*: a Mem panics if a cycle issues more
+//     reads or writes than the spec allows (catching designs that silently
+//     assume extra ports — precisely the modelling error a software-only
+//     simulator hides);
+//   - storage and area roll up mechanically into the Fig. 8/9 area model
+//     (package internal/area) from the same parameters the RTL would use.
+package sram
+
+import "fmt"
+
+// Spec describes one synchronous memory.
+type Spec struct {
+	Name       string
+	Entries    int // number of rows
+	Width      int // bits per row
+	ReadPorts  int
+	WritePorts int
+}
+
+// Bits returns the total storage in bits.
+func (s Spec) Bits() int { return s.Entries * s.Width }
+
+// Bytes returns the total storage in bytes (rounded up).
+func (s Spec) Bytes() int { return (s.Bits() + 7) / 8 }
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s: %dx%db (%dR%dW)", s.Name, s.Entries, s.Width, s.ReadPorts, s.WritePorts)
+}
+
+// Budget is the storage accounting a sub-component reports: the memories it
+// instantiates plus any flop-based state (history registers, valid bits kept
+// out of SRAM, ...).
+type Budget struct {
+	Mems     []Spec
+	FlopBits int
+}
+
+// TotalBits returns SRAM bits plus flop bits.
+func (b Budget) TotalBits() int {
+	n := b.FlopBits
+	for _, m := range b.Mems {
+		n += m.Bits()
+	}
+	return n
+}
+
+// TotalBytes returns the budget in bytes (rounded up).
+func (b Budget) TotalBytes() int { return (b.TotalBits() + 7) / 8 }
+
+// Add merges another budget into b and returns the result.
+func (b Budget) Add(o Budget) Budget {
+	return Budget{
+		Mems:     append(append([]Spec{}, b.Mems...), o.Mems...),
+		FlopBits: b.FlopBits + o.FlopBits,
+	}
+}
+
+// Mem is a cycle-accounted memory of uint64 rows. Rows wider than 64 bits
+// are modelled as multiple Mems or by packing; predictor entries in this
+// code base always fit one word per logical field.
+type Mem struct {
+	spec   Spec
+	rows   []uint64
+	cycle  uint64
+	reads  int
+	writes int
+
+	// Stats for the energy/port-pressure report.
+	TotalReads  uint64
+	TotalWrites uint64
+	// CheckPorts enables per-cycle port-overuse panics.  Off by default (the
+	// full-core simulator folds multiple pipeline events into one host call);
+	// unit tests and the strict composer mode enable it to audit designs.
+	CheckPorts bool
+
+	// MaxReadsPerCycle / MaxWritesPerCycle record the worst observed port
+	// pressure regardless of CheckPorts, so reports can flag designs that
+	// would need more ports than their spec claims.
+	MaxReadsPerCycle  int
+	MaxWritesPerCycle int
+}
+
+// New allocates a memory conforming to spec.
+func New(spec Spec) *Mem {
+	if spec.Entries <= 0 || spec.Width <= 0 {
+		panic(fmt.Sprintf("sram: invalid spec %v", spec))
+	}
+	return &Mem{spec: spec, rows: make([]uint64, spec.Entries)}
+}
+
+// Spec returns the memory's specification.
+func (m *Mem) Spec() Spec { return m.spec }
+
+// Tick advances the memory to a new cycle, resetting port usage.
+func (m *Mem) Tick(cycle uint64) {
+	if cycle != m.cycle {
+		m.cycle = cycle
+		m.reads, m.writes = 0, 0
+	}
+}
+
+// Read returns row idx, consuming one read port in the current cycle.
+func (m *Mem) Read(idx int) uint64 {
+	m.reads++
+	m.TotalReads++
+	if m.reads > m.MaxReadsPerCycle {
+		m.MaxReadsPerCycle = m.reads
+	}
+	if m.CheckPorts && m.reads > m.spec.ReadPorts {
+		panic(fmt.Sprintf("sram: %s exceeded %d read ports in one cycle", m.spec.Name, m.spec.ReadPorts))
+	}
+	return m.rows[idx%m.spec.Entries]
+}
+
+// Write stores v (masked to the row width) at row idx, consuming one write
+// port in the current cycle.
+func (m *Mem) Write(idx int, v uint64) {
+	m.writes++
+	m.TotalWrites++
+	if m.writes > m.MaxWritesPerCycle {
+		m.MaxWritesPerCycle = m.writes
+	}
+	if m.CheckPorts && m.writes > m.spec.WritePorts {
+		panic(fmt.Sprintf("sram: %s exceeded %d write ports in one cycle", m.spec.Name, m.spec.WritePorts))
+	}
+	if m.spec.Width < 64 {
+		v &= (uint64(1) << uint(m.spec.Width)) - 1
+	}
+	m.rows[idx%m.spec.Entries] = v
+}
+
+// Peek reads row idx without consuming a port (for tests and debug dumps).
+func (m *Mem) Peek(idx int) uint64 { return m.rows[idx%m.spec.Entries] }
+
+// Poke writes row idx without consuming a port (for tests and repair paths
+// that model flop-based restore).
+func (m *Mem) Poke(idx int, v uint64) {
+	if m.spec.Width < 64 {
+		v &= (uint64(1) << uint(m.spec.Width)) - 1
+	}
+	m.rows[idx%m.spec.Entries] = v
+}
+
+// Reset zeroes the memory contents and statistics.
+func (m *Mem) Reset() {
+	for i := range m.rows {
+		m.rows[i] = 0
+	}
+	m.reads, m.writes = 0, 0
+	m.TotalReads, m.TotalWrites = 0, 0
+	m.MaxReadsPerCycle, m.MaxWritesPerCycle = 0, 0
+}

@@ -1,0 +1,141 @@
+package sram
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func spec() Spec {
+	return Spec{Name: "bht", Entries: 16, Width: 2, ReadPorts: 1, WritePorts: 1}
+}
+
+func TestSpecAccounting(t *testing.T) {
+	s := Spec{Name: "t", Entries: 2048, Width: 2}
+	if s.Bits() != 4096 {
+		t.Errorf("Bits = %d, want 4096", s.Bits())
+	}
+	if s.Bytes() != 512 {
+		t.Errorf("Bytes = %d, want 512", s.Bytes())
+	}
+	s.Width = 3
+	if s.Bytes() != (2048*3+7)/8 {
+		t.Errorf("Bytes rounding wrong: %d", s.Bytes())
+	}
+	if !strings.Contains(s.String(), "2048x3b") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestBudgetAdd(t *testing.T) {
+	a := Budget{Mems: []Spec{{Name: "a", Entries: 8, Width: 8}}, FlopBits: 10}
+	b := Budget{Mems: []Spec{{Name: "b", Entries: 4, Width: 4}}, FlopBits: 5}
+	sum := a.Add(b)
+	if sum.TotalBits() != 8*8+4*4+15 {
+		t.Errorf("TotalBits = %d", sum.TotalBits())
+	}
+	if len(sum.Mems) != 2 {
+		t.Errorf("merged mems = %d, want 2", len(sum.Mems))
+	}
+	// Add must not mutate its operands.
+	if a.TotalBits() != 74 || b.TotalBits() != 21 {
+		t.Error("Add mutated operands")
+	}
+}
+
+func TestMemReadWrite(t *testing.T) {
+	m := New(spec())
+	m.Tick(1)
+	m.Write(3, 0b11)
+	m.Tick(2)
+	if got := m.Read(3); got != 0b11 {
+		t.Errorf("Read(3) = %d, want 3", got)
+	}
+	// Width masking.
+	m.Tick(3)
+	m.Write(4, 0xff)
+	if got := m.Peek(4); got != 0b11 {
+		t.Errorf("width mask: got %d, want 3", got)
+	}
+}
+
+func TestMemIndexWraps(t *testing.T) {
+	m := New(spec())
+	m.Poke(16+3, 2)
+	if m.Peek(3) != 2 {
+		t.Error("index must wrap modulo entries")
+	}
+}
+
+func TestPortCheckPanics(t *testing.T) {
+	m := New(spec())
+	m.CheckPorts = true
+	m.Tick(1)
+	m.Read(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected port-overuse panic")
+		}
+	}()
+	m.Read(1) // second read in same cycle on a 1R mem
+}
+
+func TestPortPressureRecordedWithoutPanic(t *testing.T) {
+	m := New(spec())
+	m.Tick(1)
+	m.Read(0)
+	m.Read(1)
+	m.Read(2)
+	if m.MaxReadsPerCycle != 3 {
+		t.Errorf("MaxReadsPerCycle = %d, want 3", m.MaxReadsPerCycle)
+	}
+	m.Tick(2)
+	m.Read(0)
+	if m.MaxReadsPerCycle != 3 {
+		t.Errorf("max must persist across cycles, got %d", m.MaxReadsPerCycle)
+	}
+}
+
+func TestTickResetsPortUse(t *testing.T) {
+	m := New(spec())
+	m.CheckPorts = true
+	m.Tick(1)
+	m.Read(0)
+	m.Tick(2)
+	m.Read(0) // must not panic: new cycle
+	m.Write(0, 1)
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	m := New(spec())
+	m.Tick(1)
+	m.Write(5, 3)
+	m.Read(5)
+	m.Reset()
+	if m.Peek(5) != 0 || m.TotalReads != 0 || m.TotalWrites != 0 || m.MaxReadsPerCycle != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := New(Spec{Name: "wide", Entries: 64, Width: 48, ReadPorts: 4, WritePorts: 4})
+	f := func(idx int, v uint64) bool {
+		if idx < 0 {
+			idx = -idx
+		}
+		m.Poke(idx, v)
+		return m.Peek(idx) == v&((1<<48)-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero-entry spec")
+		}
+	}()
+	New(Spec{Name: "bad", Entries: 0, Width: 2})
+}

@@ -1,0 +1,195 @@
+// Package stats collects the performance counters the evaluation reports:
+// instructions, cycles, branch outcomes, mispredictions, fetch bubbles —
+// and derives the quantities of Fig. 10 (MPKI, IPC, accuracy, harmonic
+// means).  It also provides the plain-text table renderer used by the
+// cmd tools and benchmark harness so every table/figure prints in one
+// consistent format.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sim aggregates the counters of one simulation run.
+type Sim struct {
+	Cycles       uint64
+	Instructions uint64
+
+	// Branch accounting (committed, i.e. correct-path, events only).
+	Branches        uint64 // committed conditional branches
+	Jumps           uint64 // committed unconditional direct jumps
+	IndirectJumps   uint64 // committed indirect jumps (incl. returns)
+	Mispredicts     uint64 // committed branches whose prediction was wrong
+	DirMispredicts  uint64 // subset: wrong direction on a conditional branch
+	TgtMispredicts  uint64 // subset: right direction / wrong target
+	BTBMisses       uint64 // taken control flow with no predicted target
+	FetchBubbles    uint64 // frontend cycles with no packet delivered
+	RedirectFlushes uint64 // frontend redirects from later pipeline stages
+	HistoryRepairs  uint64 // GHR repair events
+	FetchReplays    uint64 // fetch replays forced by history repair
+
+	// Per-event counters keyed by sub-component (provider attribution).
+	ProviderHits map[string]uint64
+}
+
+// AddProviderHit attributes a final prediction to the named sub-component.
+func (s *Sim) AddProviderHit(name string) {
+	if s.ProviderHits == nil {
+		s.ProviderHits = make(map[string]uint64)
+	}
+	s.ProviderHits[name]++
+}
+
+// IPC returns instructions per cycle.
+func (s *Sim) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MPKI returns branch mispredictions per thousand committed instructions.
+func (s *Sim) MPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Instructions) * 1000
+}
+
+// Accuracy returns the fraction of committed conditional branches whose
+// direction was predicted correctly.
+func (s *Sim) Accuracy() float64 {
+	if s.Branches == 0 {
+		return 1
+	}
+	return 1 - float64(s.DirMispredicts)/float64(s.Branches)
+}
+
+// BubbleFrac returns the fraction of cycles the frontend delivered nothing.
+func (s *Sim) BubbleFrac() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FetchBubbles) / float64(s.Cycles)
+}
+
+func (s *Sim) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d IPC=%.3f MPKI=%.2f acc=%.2f%% bubbles=%.1f%%",
+		s.Cycles, s.Instructions, s.IPC(), s.MPKI(), s.Accuracy()*100, s.BubbleFrac()*100)
+}
+
+// HarmonicMean returns the harmonic mean of xs; the paper's Fig. 10 uses it
+// (HARMEAN) to summarize per-benchmark IPC and MPKI. Zero or negative inputs
+// are rejected with ok=false, matching the convention that a harmonic mean
+// is undefined there.
+func HarmonicMean(xs []float64) (hm float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, false
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv, true
+}
+
+// GeoMean returns the geometric mean (used by some ablation summaries).
+func GeoMean(xs []float64) (gm float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, false
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), true
+}
+
+// Table renders an aligned plain-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row, formatting each value with %v and floats as %.3g.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order, for deterministic reports.
+func SortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

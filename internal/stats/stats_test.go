@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	s := &Sim{
+		Cycles:         1000,
+		Instructions:   2500,
+		Branches:       500,
+		Mispredicts:    25,
+		DirMispredicts: 20,
+		FetchBubbles:   100,
+	}
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := s.MPKI(); got != 10 {
+		t.Errorf("MPKI = %v, want 10", got)
+	}
+	if got := s.Accuracy(); math.Abs(got-0.96) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 0.96", got)
+	}
+	if got := s.BubbleFrac(); got != 0.1 {
+		t.Errorf("BubbleFrac = %v, want 0.1", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	s := &Sim{}
+	if s.IPC() != 0 || s.MPKI() != 0 || s.BubbleFrac() != 0 {
+		t.Error("zero-cycle run must report zero rates")
+	}
+	if s.Accuracy() != 1 {
+		t.Error("no branches -> accuracy 1")
+	}
+}
+
+func TestProviderHits(t *testing.T) {
+	s := &Sim{}
+	s.AddProviderHit("tage")
+	s.AddProviderHit("tage")
+	s.AddProviderHit("bim")
+	if s.ProviderHits["tage"] != 2 || s.ProviderHits["bim"] != 1 {
+		t.Errorf("provider hits wrong: %v", s.ProviderHits)
+	}
+	keys := SortedKeys(s.ProviderHits)
+	if len(keys) != 2 || keys[0] != "bim" || keys[1] != "tage" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	hm, ok := HarmonicMean([]float64{1, 2, 4})
+	if !ok || math.Abs(hm-12.0/7.0) > 1e-12 {
+		t.Errorf("HarmonicMean = %v ok=%v", hm, ok)
+	}
+	if _, ok := HarmonicMean(nil); ok {
+		t.Error("empty input must not be ok")
+	}
+	if _, ok := HarmonicMean([]float64{1, 0}); ok {
+		t.Error("zero input must not be ok")
+	}
+}
+
+func TestHarmonicMeanBounds(t *testing.T) {
+	// Harmonic mean lies between min and max of positive inputs.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		hm, ok := HarmonicMean(xs)
+		if !ok {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return hm >= lo-1e-9 && hm <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	gm, ok := GeoMean([]float64{1, 4})
+	if !ok || math.Abs(gm-2) > 1e-12 {
+		t.Errorf("GeoMean = %v ok=%v", gm, ok)
+	}
+	if _, ok := GeoMean([]float64{}); ok {
+		t.Error("empty GeoMean must fail")
+	}
+}
+
+func TestHarmonicLEGeoMean(t *testing.T) {
+	// HM <= GM for positive inputs (AM-GM-HM inequality).
+	f := func(a, b uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 2}
+		hm, _ := HarmonicMean(xs)
+		gm, _ := GeoMean(xs)
+		return hm <= gm+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"name", "ipc"}}
+	tb.AddRow("tage-l", "1.20")
+	tb.AddRowf("tourney", 0.95)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "tage-l") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0.950") {
+		t.Errorf("AddRowf float formatting missing:\n%s", out)
+	}
+}
+
+func TestSimString(t *testing.T) {
+	s := &Sim{Cycles: 10, Instructions: 20}
+	if !strings.Contains(s.String(), "IPC=2.000") {
+		t.Errorf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cobra/internal/compose"
+	"cobra/internal/pred"
+	"cobra/internal/program"
+	"cobra/internal/workloads"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{PC: 0x1000, Kind: program.KindBranch, Taken: true, Target: 0x2000},
+		{PC: 0x1004, Kind: program.KindJump, Taken: true, Target: 0x3000},
+		{PC: 0x3000, Kind: program.KindRet, Taken: true, Target: 0x1008},
+		{PC: 0x1008, Kind: program.KindBranch, Taken: false, Target: 0},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("Count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOPE!!")); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := NewReader(bytes.NewBufferString("")); err == nil {
+		t.Error("empty stream must fail")
+	}
+}
+
+func TestCapture(t *testing.T) {
+	prog, err := workloads.Get("dhrystone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Capture(&buf, prog, 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no CFIs captured")
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	for {
+		if _, err := r.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != n {
+		t.Errorf("read %d records, wrote %d", count, n)
+	}
+}
+
+func TestTraceSimAccuracyExceedsInCore(t *testing.T) {
+	// The idealized trace simulator sees perfect histories and immediate
+	// updates, so for a history-hungry predictor it reports *optimistic*
+	// accuracy relative to hardware conditions — the §II-B modelling error.
+	prog, err := workloads.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Capture(&buf, prog, 42, 200000); err != nil {
+		t.Fatal(err)
+	}
+	p, err := compose.New(pred.DefaultConfig(),
+		compose.MustParse("GTAG3 > BTB2 > BIM2"), compose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branches == 0 {
+		t.Fatal("no branches simulated")
+	}
+	if res.Accuracy() < 0.7 {
+		t.Errorf("trace-sim accuracy %.3f implausibly low", res.Accuracy())
+	}
+	t.Logf("trace-sim: branches=%d acc=%.4f", res.Branches, res.Accuracy())
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	run := func() SimResult {
+		// Programs carry stateful behaviours: every simulation needs a
+		// freshly built instance.
+		prog, _ := workloads.Get("dhrystone")
+		var buf bytes.Buffer
+		Capture(&buf, prog, 9, 50000)
+		p, _ := compose.New(pred.DefaultConfig(),
+			compose.MustParse("BIM2"), compose.Options{})
+		r, _ := NewReader(&buf)
+		res, err := Simulate(p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if run() != run() {
+		t.Error("trace simulation not deterministic")
+	}
+}

@@ -1,0 +1,96 @@
+package uarch
+
+import "cobra/internal/bitutil"
+
+// cache is a set-associative LRU data cache model (tags only; the simulator
+// never needs data values).
+type cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways
+	valid     []bool
+	stamp     []uint64
+	clock     uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+func newCache(sets, ways, lineBytes int) *cache {
+	if !bitutil.IsPow2(sets) || ways <= 0 || !bitutil.IsPow2(lineBytes) {
+		panic("uarch: cache geometry must be powers of two")
+	}
+	n := sets * ways
+	return &cache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: bitutil.Clog2(lineBytes),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		stamp:     make([]uint64, n),
+	}
+}
+
+// access touches addr, allocating on miss; reports whether it hit.
+func (c *cache) access(addr uint64) bool {
+	c.clock++
+	c.Accesses++
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	tag := line >> bitutil.Clog2(c.sets)
+	base := set * c.ways
+	victim, oldest := base, c.stamp[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.Misses++
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// hierarchy bundles L1D + L2 with a flat memory behind them.
+type hierarchy struct {
+	l1, l2               *cache
+	l1Lat, l2Lat, memLat int
+}
+
+func newHierarchy(cfg Config) *hierarchy {
+	return &hierarchy{
+		l1:     newCache(cfg.L1Sets, cfg.L1Ways, cfg.LineBytes),
+		l2:     newCache(cfg.L2Sets, cfg.L2Ways, cfg.LineBytes),
+		l1Lat:  cfg.L1Lat,
+		l2Lat:  cfg.L2Lat,
+		memLat: cfg.MemLat,
+	}
+}
+
+// loadLatency returns the latency of a load to addr and updates the caches.
+func (h *hierarchy) loadLatency(addr uint64) int {
+	if h.l1.access(addr) {
+		return h.l1Lat
+	}
+	if h.l2.access(addr) {
+		return h.l2Lat
+	}
+	return h.memLat
+}
+
+// store updates the caches (write-allocate); store latency is hidden by the
+// store queue, so no latency is returned.
+func (h *hierarchy) store(addr uint64) {
+	if !h.l1.access(addr) {
+		h.l2.access(addr)
+	}
+}

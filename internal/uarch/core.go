@@ -1,0 +1,504 @@
+package uarch
+
+import (
+	"fmt"
+
+	"cobra/internal/components"
+	"cobra/internal/compose"
+	"cobra/internal/program"
+	"cobra/internal/stats"
+)
+
+// issue-queue classes (Table II: INT, MEM, FP).
+const (
+	iqInt = iota
+	iqMem
+	iqFP
+	numIQ
+)
+
+// robE is one reorder-buffer entry.
+type robE struct {
+	valid  bool
+	fb     fbInst
+	state  uint8 // 0 waiting, 1 issued, 2 done
+	doneAt uint64
+	iq     uint8
+	src    [2]prodRef
+
+	misp, dirMisp, tgtMisp bool
+}
+
+// prodRef names a producing ROB slot (idx < 0 means operand ready).
+type prodRef struct {
+	idx int
+	seq uint64
+}
+
+type renameEntry struct {
+	idx   int
+	seq   uint64
+	valid bool
+}
+
+type pendingEntry struct {
+	entry *compose.Entry
+	count int
+}
+
+// Core is the assembled BOOM-like machine: a COBRA predictor pipeline
+// driving the fetch unit of an out-of-order backend, executing a synthetic
+// program measured against its architectural oracle.
+type Core struct {
+	cfg    Config
+	bp     *compose.Pipeline
+	prog   *program.Program
+	oracle *program.Oracle
+	ras    *components.RAS
+	mem    *hierarchy
+	steps  *stepBuffer
+
+	S stats.Sim
+
+	// OnCommitBranch, when set, is called for every committed conditional
+	// branch with its PC, resolved direction, whether it mispredicted, and
+	// the sub-component that provided the direction — a diagnostics hook for
+	// per-branch and per-provider accuracy studies.
+	OnCommitBranch func(pc uint64, taken, misp bool, provider string)
+
+	cycle     uint64
+	cycleBase uint64 // subtracted from cycle counts (warmup discard)
+	instSeq   uint64
+
+	// frontend
+	fetchPC       uint64
+	stallUntil    uint64
+	inflight      []*pkt
+	fb            []fbInst
+	onCorrect     bool
+	predOffActive bool
+	predOffUntil  uint64
+	rasCps        []rasCp
+
+	// backend
+	rob      []robE
+	robHead  int
+	robCount int
+	rename   [32]renameEntry
+	iqUsed   [numIQ]int
+	ldqUsed  int
+	stqUsed  int
+	pending  map[uint64]*pendingEntry
+
+	lastCommitCycle uint64
+	histRepairBase  uint64
+}
+
+// NewCore wires a predictor pipeline to a program.
+func NewCore(cfg Config, bp *compose.Pipeline, prog *program.Program, seed uint64) *Core {
+	if cfg.Fetch != bp.Cfg {
+		panic("uarch: core and pipeline disagree on fetch geometry")
+	}
+	oracle := program.NewOracle(prog, seed)
+	return &Core{
+		cfg:       cfg,
+		bp:        bp,
+		prog:      prog,
+		oracle:    oracle,
+		ras:       components.NewRAS(cfg.RASEntries),
+		mem:       newHierarchy(cfg),
+		steps:     newStepBuffer(oracle),
+		fetchPC:   prog.Entry,
+		onCorrect: true,
+		rob:       make([]robE, cfg.ROBEntries),
+		pending:   make(map[uint64]*pendingEntry),
+	}
+}
+
+// Pipeline exposes the attached predictor pipeline (for reports).
+func (c *Core) Pipeline() *compose.Pipeline { return c.bp }
+
+// Cycle returns the current simulated cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+func (c *Core) robAt(i int) *robE {
+	j := c.robHead + i
+	if j >= len(c.rob) {
+		j -= len(c.rob)
+	}
+	return &c.rob[j]
+}
+
+func (c *Core) pend(e *compose.Entry, n int) {
+	p := c.pending[e.Seq()]
+	if p == nil {
+		p = &pendingEntry{entry: e}
+		c.pending[e.Seq()] = p
+	}
+	p.count += n
+}
+
+// unpend decrements an entry's outstanding instruction count; at zero the
+// packet has fully committed (commit=true) or fully vanished, and the
+// history-file entry retires or is dropped.
+func (c *Core) unpend(seq uint64, commit bool) {
+	p := c.pending[seq]
+	if p == nil {
+		return
+	}
+	p.count--
+	if p.count > 0 {
+		return
+	}
+	delete(c.pending, seq)
+	if commit && p.entry.Valid() {
+		c.bp.Commit(c.cycle, p.entry)
+	}
+}
+
+func classIQ(f *fbInst) uint8 {
+	if f.inst == nil {
+		return iqInt
+	}
+	switch f.inst.Class {
+	case program.ClassLoad, program.ClassStore:
+		return iqMem
+	case program.ClassFP:
+		return iqFP
+	default:
+		return iqInt
+	}
+}
+
+// dispatch renames and inserts fetch-buffer instructions into the ROB and
+// issue queues, up to the decode width, subject to structural limits.
+func (c *Core) dispatch() {
+	if len(c.fb) == 0 {
+		c.S.FetchBubbles++
+		return
+	}
+	for n := 0; n < c.cfg.DecodeWidth && len(c.fb) > 0; n++ {
+		if c.robCount == len(c.rob) {
+			return
+		}
+		f := &c.fb[0]
+		iq := classIQ(f)
+		if c.iqUsed[iq] >= c.cfg.IQEntries {
+			return
+		}
+		isLoad := f.inst != nil && f.inst.Class == program.ClassLoad
+		isStore := f.inst != nil && f.inst.Class == program.ClassStore
+		if isLoad && c.ldqUsed >= c.cfg.LDQEntries {
+			return
+		}
+		if isStore && c.stqUsed >= c.cfg.STQEntries {
+			return
+		}
+		idx := (c.robHead + c.robCount) % len(c.rob)
+		r := &c.rob[idx]
+		*r = robE{valid: true, fb: *f, iq: iq}
+		if f.inst != nil {
+			r.src[0] = c.lookupProducer(f.inst.Src1)
+			r.src[1] = c.lookupProducer(f.inst.Src2)
+			if f.inst.Dst != 0 {
+				c.rename[f.inst.Dst%32] = renameEntry{idx: idx, seq: f.seq, valid: true}
+			}
+		} else {
+			r.src[0].idx, r.src[1].idx = -1, -1
+		}
+		c.robCount++
+		c.iqUsed[iq]++
+		if isLoad {
+			c.ldqUsed++
+		}
+		if isStore {
+			c.stqUsed++
+		}
+		c.fb = c.fb[1:]
+	}
+}
+
+func (c *Core) lookupProducer(reg uint8) prodRef {
+	if reg == 0 {
+		return prodRef{idx: -1}
+	}
+	re := c.rename[reg%32]
+	if !re.valid {
+		return prodRef{idx: -1}
+	}
+	return prodRef{idx: re.idx, seq: re.seq}
+}
+
+// ready reports whether an instruction's operands have been produced.
+func (c *Core) ready(r *robE) bool {
+	for _, s := range r.src {
+		if s.idx < 0 {
+			continue
+		}
+		p := &c.rob[s.idx]
+		if p.valid && p.fb.seq == s.seq && p.state != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// execLatency returns the instruction's execution latency, touching the
+// cache model for memory operations.
+func (c *Core) execLatency(r *robE) int {
+	if r.fb.inst == nil {
+		return c.cfg.ALULat
+	}
+	switch r.fb.inst.Class {
+	case program.ClassMul:
+		return c.cfg.MulLat
+	case program.ClassFP:
+		return c.cfg.FPLat
+	case program.ClassLoad:
+		return c.mem.loadLatency(c.memAddr(r))
+	case program.ClassStore:
+		c.mem.store(c.memAddr(r))
+		return c.cfg.ALULat
+	default:
+		return c.cfg.ALULat
+	}
+}
+
+// memAddr produces the access address: the architectural address for
+// correct-path instructions, a PC-derived pseudo-address for wrong-path ones
+// (which realistically pollute the cache without touching oracle state).
+func (c *Core) memAddr(r *robE) uint64 {
+	if r.fb.hasStep && r.fb.step.Addr != 0 {
+		return r.fb.step.Addr
+	}
+	return 0x4000_0000 + (r.fb.pc*0x9E3779B9)&0xF_FFF8
+}
+
+// issue selects ready instructions per issue queue, oldest first, up to each
+// queue's issue width.
+func (c *Core) issue() {
+	budget := [numIQ]int{c.cfg.NumALU, c.cfg.NumMem, c.cfg.NumFP}
+	left := c.iqUsed[iqInt] + c.iqUsed[iqMem] + c.iqUsed[iqFP]
+	for i := 0; i < c.robCount && left > 0; i++ {
+		r := c.robAt(i)
+		if r.state != 0 {
+			continue
+		}
+		left--
+		if budget[r.iq] == 0 || !c.ready(r) {
+			if c.cfg.InOrderIssue {
+				return // in-order pipelines stall behind the oldest hazard
+			}
+			continue
+		}
+		budget[r.iq]--
+		c.iqUsed[r.iq]--
+		r.state = 1
+		r.doneAt = c.cycle + uint64(c.execLatency(r))
+	}
+}
+
+// writeback completes issued instructions and resolves correct-path control
+// flow; a misprediction triggers the full flush-and-redirect sequence.
+func (c *Core) writeback() {
+	for i := 0; i < c.robCount; i++ {
+		r := c.robAt(i)
+		if r.state != 1 || r.doneAt > c.cycle {
+			continue
+		}
+		r.state = 2
+		f := &r.fb
+		if !f.correct || f.predicated || f.inst == nil || !f.inst.Kind.IsCFI() {
+			continue
+		}
+		res := c.bp.Resolve(c.cycle, f.entry, f.slot, f.step.Taken, f.step.Target)
+		if !res.Mispredict {
+			continue
+		}
+		r.misp, r.dirMisp, r.tgtMisp = true, res.DirMisp, res.TgtMisp
+		c.flushAfter(r, res.Redirect)
+	}
+}
+
+// flushAfter squashes everything younger than the resolving instruction:
+// ROB tail, fetch buffer, in-flight fetch packets, rename mappings, RAS
+// state, and the oracle window cursor; then redirects fetch.
+func (c *Core) flushAfter(r *robE, redirect uint64) {
+	branchSeq := r.fb.seq
+	// ROB tail flush.
+	for c.robCount > 0 {
+		tail := c.robAt(c.robCount - 1)
+		if tail.fb.seq <= branchSeq {
+			break
+		}
+		if tail.state == 0 {
+			c.iqUsed[tail.iq]--
+		}
+		if tail.fb.inst != nil {
+			switch tail.fb.inst.Class {
+			case program.ClassLoad:
+				c.ldqUsed--
+			case program.ClassStore:
+				c.stqUsed--
+			}
+		}
+		c.unpend(tail.fb.entrySeq, false)
+		tail.valid = false
+		c.robCount--
+	}
+	// Fetch buffer and in-flight packets are all younger than a resolving
+	// branch (in-order frontend).
+	for i := range c.fb {
+		c.unpend(c.fb[i].entrySeq, false)
+	}
+	c.fb = c.fb[:0]
+	c.inflight = c.inflight[:0]
+	// Rename table: drop mappings to flushed producers.
+	for reg := range c.rename {
+		if c.rename[reg].valid && c.rename[reg].seq > branchSeq {
+			c.rename[reg] = renameEntry{}
+		}
+	}
+	// RAS repair: restore the checkpoint of the oldest squashed RAS
+	// operation.  An operation is squashed when its packet is younger than
+	// the resolving branch, or when it sits in the *same* packet at a
+	// younger slot (a wrong-path call/ret fetched right after the branch).
+	eSeq := r.fb.entrySeq
+	for i, cp := range c.rasCps {
+		if cp.entrySeq > eSeq || (cp.entrySeq == eSeq && cp.opSlot > r.fb.slot) {
+			c.ras.Restore(cp.cp)
+			c.rasCps = c.rasCps[:i]
+			break
+		}
+	}
+	// Oracle window: refetch re-serves the same steps.
+	if r.fb.hasStep {
+		c.steps.rewind(r.fb.stepIdx + 1)
+	}
+	c.onCorrect = true
+	c.predOffActive = false
+	c.fetchPC = redirect
+	c.stallUntil = c.cycle + uint64(c.cfg.RedirectLatency)
+}
+
+// commit retires completed instructions in order.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		r := c.robAt(0)
+		if r.state != 2 {
+			return
+		}
+		f := &r.fb
+		if f.correct {
+			c.S.Instructions++
+			c.lastCommitCycle = c.cycle
+			if f.inst != nil && !f.predicated {
+				switch f.inst.Kind {
+				case program.KindBranch:
+					c.S.Branches++
+					prov := ""
+					if f.entry != nil && f.slot < len(f.entry.Used) {
+						prov = f.entry.Used[f.slot].DirProvider
+					}
+					if prov == "" {
+						prov = "(default-nt)"
+					}
+					c.S.AddProviderHit(prov)
+					if c.OnCommitBranch != nil {
+						c.OnCommitBranch(f.pc, f.step.Taken, r.misp, prov)
+					}
+					if r.misp {
+						c.S.Mispredicts++
+						if r.dirMisp {
+							c.S.DirMispredicts++
+						} else {
+							c.S.TgtMispredicts++
+						}
+					}
+				case program.KindJump, program.KindCall:
+					c.S.Jumps++
+					if r.misp {
+						c.S.Mispredicts++
+						c.S.TgtMispredicts++
+					}
+				case program.KindRet, program.KindIndirect:
+					c.S.IndirectJumps++
+					if r.misp {
+						c.S.Mispredicts++
+						c.S.TgtMispredicts++
+					}
+				}
+			}
+			c.steps.prune(f.stepIdx)
+		}
+		if f.inst != nil {
+			switch f.inst.Class {
+			case program.ClassLoad:
+				c.ldqUsed--
+			case program.ClassStore:
+				c.stqUsed--
+			}
+		}
+		// Retire rename mapping if this instruction still owns it.
+		if f.inst != nil && f.inst.Dst != 0 {
+			re := &c.rename[f.inst.Dst%32]
+			if re.valid && re.seq == f.seq {
+				*re = renameEntry{}
+			}
+		}
+		c.unpend(f.entrySeq, true)
+		// Prune committed RAS checkpoints.
+		for len(c.rasCps) > 0 && c.rasCps[0].entrySeq < f.entrySeq {
+			c.rasCps = c.rasCps[1:]
+		}
+		r.valid = false
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+	}
+}
+
+// step advances the machine one cycle.
+//
+// fetch runs before frontendAdvance so that a deeper-stage override
+// discovered this cycle redirects *next* cycle's fetch: the sequential
+// fetch launched this cycle with the stale PC and gets squashed — the
+// 1-bubble-per-override-level cost of the Alpha-style scheme (§IV-B).
+// Only stage-1 predictions (computed combinationally within fetch) steer
+// the immediately following fetch for free, which is the single-cycle
+// uBTB's entire reason to exist.
+func (c *Core) step() {
+	c.cycle++
+	c.bp.Tick(c.cycle)
+	c.commit()
+	c.writeback()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.frontendAdvance()
+}
+
+// ResetStats zeroes the performance counters without disturbing
+// microarchitectural state — the standard warm-up methodology: run a
+// warm-up slice, reset, then measure.
+func (c *Core) ResetStats() {
+	c.S = stats.Sim{}
+	c.cycleBase = c.cycle
+	c.histRepairBase = c.bp.C.HistRepairs
+}
+
+// Run simulates until maxInsts architectural instructions commit (counted
+// since the last ResetStats) and returns the statistics.  It also enforces
+// the deadlock watchdog.
+func (c *Core) Run(maxInsts uint64) *stats.Sim {
+	c.lastCommitCycle = c.cycle
+	for c.S.Instructions < maxInsts {
+		c.step()
+		if c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
+			panic(fmt.Sprintf("uarch: no commit for %d cycles at cycle %d (pc=%#x, rob=%d, fb=%d, inflight=%d)",
+				c.cfg.WatchdogCycles, c.cycle, c.fetchPC, c.robCount, len(c.fb), len(c.inflight)))
+		}
+	}
+	c.S.Cycles = c.cycle - c.cycleBase
+	c.S.HistoryRepairs = c.bp.C.HistRepairs - c.histRepairBase
+	return &c.S
+}

@@ -1,0 +1,442 @@
+package uarch
+
+import (
+	"cobra/internal/components"
+	"cobra/internal/compose"
+	"cobra/internal/pred"
+	"cobra/internal/program"
+)
+
+// pkt is one in-flight fetch packet travelling down the fetch pipeline.
+type pkt struct {
+	e      *compose.Entry
+	stages []pred.Packet
+	base   uint64
+	start  int // first valid slot (branch targets can land mid-packet)
+
+	view   pred.Packet // currently accepted view
+	slots  []pred.SlotInfo
+	cfiIdx int
+	nextPC uint64
+
+	age        int
+	born       uint64 // fetch cycle (aging starts the following cycle)
+	predecoded bool
+	// predecode results (cached so fetch-buffer backpressure retries do not
+	// redo RAS operations)
+	endSlot  int
+	predMask uint32
+}
+
+// fbInst is a delivered instruction waiting in the fetch buffer / ROB.
+type fbInst struct {
+	seq      uint64
+	pc       uint64
+	inst     *program.Inst // nil = off-image wrong-path garbage (nop)
+	entry    *compose.Entry
+	entrySeq uint64
+	slot     int
+
+	correct bool // on the committed (oracle) path
+	hasStep bool
+	stepIdx uint64
+	step    program.Step
+
+	predicated bool // SFB branch decoded to set-flag (not a predicted CFI)
+	predOff    bool // SFB shadow instruction, architecturally skipped
+}
+
+// stepBuffer windows the oracle's committed stream so fetch can rewind after
+// a mispredict (flushed correct-path instructions are refetched and must be
+// served the same architectural steps).
+type stepBuffer struct {
+	oracle *program.Oracle
+	steps  []program.Step
+	base   uint64 // index of steps[0]
+	cursor uint64 // next step to deliver
+}
+
+func newStepBuffer(o *program.Oracle) *stepBuffer {
+	return &stepBuffer{oracle: o}
+}
+
+func (s *stepBuffer) peek() *program.Step {
+	for s.cursor >= s.base+uint64(len(s.steps)) {
+		s.steps = append(s.steps, s.oracle.Next())
+	}
+	return &s.steps[s.cursor-s.base]
+}
+
+func (s *stepBuffer) consume() uint64 {
+	idx := s.cursor
+	s.cursor++
+	return idx
+}
+
+func (s *stepBuffer) rewind(to uint64) {
+	if to < s.base {
+		panic("uarch: rewinding past pruned steps")
+	}
+	s.cursor = to
+}
+
+// prune drops steps older than idx (they have committed).
+func (s *stepBuffer) prune(idx uint64) {
+	if idx <= s.base {
+		return
+	}
+	n := idx - s.base
+	if n > uint64(len(s.steps)) {
+		n = uint64(len(s.steps))
+	}
+	s.steps = append(s.steps[:0], s.steps[n:]...)
+	s.base += n
+}
+
+type rasCp struct {
+	entrySeq uint64
+	opSlot   int // packet slot of the call/ret this checkpoint precedes
+	cp       components.RASCheckpoint
+}
+
+// viewDecode extracts the frontend's working view from a prediction packet:
+// per-slot speculation records for branch slots the predictor knows about,
+// the packet-ending CFI, and the next fetch PC.  A taken prediction without
+// a target cannot redirect (the redirect waits for pre-decode).
+func (c *Core) viewDecode(base uint64, start int, v pred.Packet) (slots []pred.SlotInfo, cfi int, next uint64) {
+	w := c.cfg.Fetch.FetchWidth
+	ib := uint64(c.cfg.Fetch.InstBytes)
+	slots = make([]pred.SlotInfo, w)
+	cfi = -1
+	next = base + uint64(c.cfg.Fetch.PktBytes())
+	for i := start; i < w; i++ {
+		p := v[i]
+		spc := base + uint64(i)*ib
+		switch p.Kind {
+		case pred.KindBranch:
+			slots[i] = pred.SlotInfo{Valid: true, IsBranch: true, PC: spc,
+				Taken: p.DirValid && p.Taken}
+		case pred.KindJump:
+			slots[i] = pred.SlotInfo{Valid: true, IsJump: true, PC: spc, Taken: true}
+		case pred.KindCall:
+			slots[i] = pred.SlotInfo{Valid: true, IsCall: true, PC: spc, Taken: true}
+		case pred.KindRet:
+			slots[i] = pred.SlotInfo{Valid: true, IsRet: true, PC: spc, Taken: true}
+		case pred.KindIndirect:
+			slots[i] = pred.SlotInfo{Valid: true, IsIndir: true, PC: spc, Taken: true}
+		default:
+			continue
+		}
+		if slots[i].Taken && p.TgtValid {
+			cfi = i
+			next = p.Target
+			for j := i + 1; j < w; j++ {
+				slots[j] = pred.SlotInfo{}
+			}
+			return slots, cfi, next
+		}
+	}
+	return slots, cfi, next
+}
+
+// isSFB reports whether a branch qualifies for short-forwards-branch
+// predication (§VI-C): a forward conditional branch spanning at most
+// SFBMaxDist instructions, whose shadow exists entirely in the image and
+// contains no control flow.
+func (c *Core) isSFB(inst *program.Inst) bool {
+	if inst.Kind != program.KindBranch || inst.Target <= inst.PC {
+		return false
+	}
+	ib := uint64(c.cfg.Fetch.InstBytes)
+	dist := (inst.Target - inst.PC) / ib
+	if dist == 0 || dist > uint64(c.cfg.SFBMaxDist) {
+		return false
+	}
+	for pc := inst.PC + ib; pc < inst.Target; pc += ib {
+		sh := c.prog.At(pc)
+		if sh == nil || sh.Kind != program.KindOp {
+			return false
+		}
+	}
+	return c.prog.At(inst.Target) != nil
+}
+
+// predecode inspects the fetched bytes (static program image) for the
+// packet: CFI kinds and direct targets become known, short forward branches
+// are predicated, returns consult the RAS, and the packet's final view is
+// fixed.  Runs once per packet.
+func (c *Core) predecode(pk *pkt) {
+	w := c.cfg.Fetch.FetchWidth
+	ib := uint64(c.cfg.Fetch.InstBytes)
+	view := pk.stages[len(pk.stages)-1]
+	slots := make([]pred.SlotInfo, w)
+	cfi := -1
+	next := pk.base + uint64(c.cfg.Fetch.PktBytes())
+	end := w - 1
+	var predMask uint32
+	rasPush, rasRet := uint64(0), false
+
+scan:
+	for i := pk.start; i < w; i++ {
+		spc := pk.base + uint64(i)*ib
+		inst := c.prog.At(spc)
+		if inst == nil || inst.Kind == program.KindOp {
+			continue
+		}
+		if c.cfg.SFB && c.isSFB(inst) {
+			predMask |= 1 << uint(i)
+			continue
+		}
+		switch inst.Kind {
+		case program.KindBranch:
+			dir := view[i].DirValid && view[i].Taken
+			slots[i] = pred.SlotInfo{Valid: true, IsBranch: true, PC: spc, Taken: dir}
+			if dir {
+				cfi, end, next = i, i, inst.Target // decode fixes direct targets
+				break scan
+			}
+			if c.cfg.SerializedFetch {
+				cfi, end, next = i, i, spc+ib
+				break scan
+			}
+		case program.KindJump:
+			slots[i] = pred.SlotInfo{Valid: true, IsJump: true, PC: spc, Taken: true}
+			cfi, end, next = i, i, inst.Target
+			break scan
+		case program.KindCall:
+			slots[i] = pred.SlotInfo{Valid: true, IsCall: true, PC: spc, Taken: true}
+			cfi, end, next = i, i, inst.Target
+			rasPush = spc + ib
+			break scan
+		case program.KindRet:
+			slots[i] = pred.SlotInfo{Valid: true, IsRet: true, PC: spc, Taken: true}
+			cfi, end = i, i
+			rasRet = true
+			next = spc + ib // placeholder; fixed below from the RAS
+			break scan
+		case program.KindIndirect:
+			slots[i] = pred.SlotInfo{Valid: true, IsIndir: true, PC: spc, Taken: true}
+			cfi, end = i, i
+			if view[i].TgtValid {
+				next = view[i].Target
+			} else {
+				next = spc + ib // no idea; the resolve will redirect
+				c.S.BTBMisses++
+			}
+			break scan
+		}
+	}
+
+	// RAS operations happen once, checkpointed into the repair log first.
+	// The checkpoint records which slot performs the operation so a
+	// mispredict at an older slot of the same packet can undo it.
+	c.rasCps = append(c.rasCps, rasCp{entrySeq: pk.e.Seq(), opSlot: cfi, cp: c.ras.Checkpoint()})
+	if rasRet {
+		if tgt, ok := c.ras.Pop(); ok {
+			next = tgt
+		} else if view[cfi].TgtValid {
+			next = view[cfi].Target
+		}
+	}
+	if rasPush != 0 {
+		c.ras.Push(rasPush)
+	}
+
+	// Install the final view: redirect if the next PC changed; otherwise
+	// refine the history contribution per the pipeline's GHR policy.
+	replay := c.bp.Opt.GHRPolicy == compose.GHRRepairReplay
+	if next != pk.nextPC {
+		c.bp.ReAccept(c.cycle, pk.e, view, slots, cfi, next, true)
+		c.dropYoungerPkts(pk)
+		c.fetchPC = next
+		c.S.RedirectFlushes++
+	} else if !slotsEqual(slots, pk.slots) || cfi != pk.cfiIdx {
+		c.bp.ReAccept(c.cycle, pk.e, view, slots, cfi, next, replay)
+		if replay {
+			c.dropYoungerPkts(pk)
+			c.fetchPC = next
+			c.S.FetchReplays++
+		} else {
+			c.S.HistoryRepairs++
+		}
+	}
+	pk.view = view
+	pk.slots = slots
+	pk.cfiIdx = cfi
+	pk.nextPC = next
+	pk.endSlot = end
+	pk.predMask = predMask
+	pk.predecoded = true
+	// Even when nothing changed (no ReAccept), record the deepest-stage
+	// view so provider attribution reflects the component that actually
+	// backed the final prediction, not just the Fetch-1 view.
+	pk.e.Used = view
+}
+
+func slotsEqual(a, b []pred.SlotInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Valid != y.Valid {
+			return false
+		}
+		if !x.Valid {
+			continue
+		}
+		if x.IsBranch != y.IsBranch || x.IsJump != y.IsJump || x.IsCall != y.IsCall ||
+			x.IsRet != y.IsRet || x.IsIndir != y.IsIndir || x.Taken != y.Taken || x.PC != y.PC {
+			return false
+		}
+	}
+	return true
+}
+
+// dropYoungerPkts removes in-flight packets younger than pk (their compose
+// entries were already squashed by ReAccept/Resolve).
+func (c *Core) dropYoungerPkts(pk *pkt) {
+	for i, q := range c.inflight {
+		if q == pk {
+			c.inflight = c.inflight[:i+1]
+			return
+		}
+	}
+}
+
+// deliver pushes the packet's instructions into the fetch buffer, tagging
+// each against the oracle stream.  Returns false (retry next cycle) when the
+// buffer lacks space.
+func (c *Core) deliver(pk *pkt) bool {
+	need := pk.endSlot - pk.start + 1
+	if len(c.fb)+need > c.cfg.FetchBufferCap {
+		return false // packet waits for fetch-buffer space
+	}
+	ib := uint64(c.cfg.Fetch.InstBytes)
+	for i := pk.start; i <= pk.endSlot; i++ {
+		spc := pk.base + uint64(i)*ib
+		inst := c.prog.At(spc)
+		c.instSeq++
+		f := fbInst{
+			seq: c.instSeq, pc: spc, inst: inst,
+			entry: pk.e, entrySeq: pk.e.Seq(), slot: i,
+			predicated: pk.predMask&(1<<uint(i)) != 0,
+		}
+		if c.onCorrect {
+			if c.predOffActive {
+				if spc < c.predOffUntil {
+					f.predOff = true
+					c.pushFB(f)
+					continue
+				}
+				c.predOffActive = false
+			}
+			st := c.steps.peek()
+			if st.PC == spc {
+				f.correct = true
+				f.hasStep = true
+				f.step = *st
+				f.stepIdx = c.steps.consume()
+				if f.predicated && f.step.Taken {
+					c.predOffActive = true
+					c.predOffUntil = f.step.Target
+				}
+				if inst != nil && inst.Kind.IsCFI() && !f.predicated {
+					predNext := spc + ib
+					if i == pk.cfiIdx {
+						predNext = pk.nextPC
+					}
+					if f.step.NextPC != predNext {
+						// Divergence: everything fetched after this CFI is
+						// wrong-path until its resolution redirects.
+						c.onCorrect = false
+					}
+				}
+			} else {
+				c.onCorrect = false
+			}
+		}
+		c.pushFB(f)
+	}
+	c.pend(pk.e, need)
+	return true
+}
+
+func (c *Core) pushFB(f fbInst) { c.fb = append(c.fb, f) }
+
+// frontendAdvance ages in-flight packets: applies deeper-stage overrides
+// (the composer's redirect logic, §IV-B), pre-decodes, and delivers.
+func (c *Core) frontendAdvance() {
+	i := 0
+	blocked := false // an older packet failed delivery: younger must wait
+	for i < len(c.inflight) {
+		pk := c.inflight[i]
+		if pk.born == c.cycle {
+			// Fetched this cycle; its stage-1 decision already steered the
+			// next fetch. Deeper stages respond starting next cycle.
+			i++
+			continue
+		}
+		prev := pk.age
+		pk.age++
+		// Deeper-stage override checks (redirect on next-PC change).
+		redirected := false
+		for d := prev + 1; d <= pk.age && d <= len(pk.stages); d++ {
+			if d < 2 {
+				continue
+			}
+			v := pk.stages[d-1]
+			slots, cfi, next := c.viewDecode(pk.base, pk.start, v)
+			if next != pk.nextPC {
+				c.bp.ReAccept(c.cycle, pk.e, v, slots, cfi, next, true)
+				pk.view, pk.slots, pk.cfiIdx, pk.nextPC = v, slots, cfi, next
+				c.dropYoungerPkts(pk)
+				c.fetchPC = next
+				c.S.RedirectFlushes++
+				redirected = true
+			}
+		}
+		_ = redirected
+		if pk.age >= len(pk.stages) {
+			if !pk.predecoded {
+				c.predecode(pk)
+			}
+			// Delivery must stay in program order: once an older packet is
+			// stalled on fetch-buffer space, younger packets wait behind it.
+			if !blocked && c.deliver(pk) {
+				// Delivered: remove from the in-flight window.
+				c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+				continue
+			}
+			blocked = true
+		}
+		i++
+	}
+}
+
+// fetch issues one packet query per cycle when the frontend is unblocked.
+func (c *Core) fetch() {
+	if c.cycle < c.stallUntil {
+		return
+	}
+	if len(c.inflight) >= c.bp.Opt.HFEntries/2 || c.bp.Full() {
+		return
+	}
+	if len(c.fb) >= c.cfg.FetchBufferCap {
+		return
+	}
+	e, stages := c.bp.Predict(c.cycle, c.fetchPC)
+	if e == nil {
+		return
+	}
+	base := c.cfg.Fetch.PacketBase(c.fetchPC)
+	start := c.cfg.Fetch.SlotOf(c.fetchPC)
+	slots, cfi, next := c.viewDecode(base, start, stages[0])
+	c.bp.Accept(c.cycle, e, stages[0], slots, cfi, next)
+	c.inflight = append(c.inflight, &pkt{
+		e: e, stages: stages, base: base, start: start,
+		view: stages[0], slots: slots, cfiIdx: cfi, nextPC: next,
+		age: 1, born: c.cycle,
+	})
+	c.fetchPC = next
+}
