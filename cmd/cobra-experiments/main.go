@@ -4,17 +4,22 @@
 // Usage:
 //
 //	cobra-experiments -exp all -insts 2000000
-//	cobra-experiments -exp fig10
+//	cobra-experiments -exp fig10 -j 8
 //	cobra-experiments -exp table1,table2,d3
 //
 // Experiment ids: table1 table2 table3 fig8 fig9 fig10 d1 d2 d3 d4
 // tracegap ablation-loop ablation-ubtb ablation-meta all
+//
+// Each experiment's independent simulations fan out across -j worker
+// goroutines (default GOMAXPROCS); results are bit-identical for every -j,
+// with -j 1 forcing the serial path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"cobra/internal/experiments"
@@ -26,9 +31,10 @@ func main() {
 		insts  = flag.Uint64("insts", 1_000_000, "instructions per simulation run")
 		warmup = flag.Uint64("warmup", 0, "instructions discarded before measurement")
 		seed   = flag.Uint64("seed", 42, "workload seed")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed}
+	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed, Parallelism: *jobs}
 
 	all := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10",
 		"d1", "d2", "d3", "d4", "tracegap", "energy",

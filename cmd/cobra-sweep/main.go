@@ -9,7 +9,11 @@
 //	cobra-sweep -workloads gcc,mcf,leela \
 //	    -topologies "BIM2;GTAG3 > BTB2 > BIM2;LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"
 //	cobra-sweep -designs -workloads all -insts 500000 -host inorder
-//	cobra-sweep -tagesizes 512,1024,2048,4096 -workloads gcc
+//	cobra-sweep -tagesizes 512,1024,2048,4096 -workloads gcc -j 8
+//
+// The (design × workload) grid fans out across -j worker goroutines
+// (default GOMAXPROCS); rows are emitted in grid order and are bit-identical
+// for every -j.
 package main
 
 import (
@@ -17,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"cobra"
 	"cobra/internal/area"
+	"cobra/internal/runner"
 )
 
 func main() {
@@ -34,6 +40,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		ghist      = flag.Uint("ghist", 64, "global history bits for -topologies points")
 		host       = flag.String("host", "boom", "host core: boom (Table II) or inorder (scalar)")
+		jobsN      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
 	)
 	flag.Parse()
 
@@ -85,7 +92,14 @@ func main() {
 		"instructions", "cycles", "ipc", "mpki", "accuracy",
 		"bubble_frac", "storage_kb", "area_ku", "energy_eu_per_kinst"})
 
-	for _, d := range points {
+	// Per-design static metrics (storage, area) are computed once; the
+	// (design × workload) simulation grid fans out across the runner.
+	type static struct {
+		kb   float64
+		arKU float64
+	}
+	statics := make([]static, len(points))
+	for i, d := range points {
 		kb, err := d.StorageKB()
 		if err != nil {
 			fatal(err)
@@ -94,29 +108,43 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		statics[i] = static{kb, bd.Total() / 1000}
+	}
+
+	type point struct {
+		design   int
+		workload string
+	}
+	var grid []point
+	var jobs []runner.Sim
+	for di, d := range points {
 		for _, wl := range ws {
-			bp, err := d.Build()
-			if err != nil {
-				fatal(err)
-			}
-			prog, err := cobra.Workload(strings.TrimSpace(wl))
-			if err != nil {
-				fatal(err)
-			}
-			res := cobra.NewCore(core, bp, prog, *seed).Run(*insts)
-			energy := area.Energy(bp)
-			w.Write([]string{
-				d.Name, d.Topology, strings.TrimSpace(wl), *host,
-				fmt.Sprint(res.Instructions), fmt.Sprint(res.Cycles),
-				fmt.Sprintf("%.4f", res.IPC()),
-				fmt.Sprintf("%.3f", res.MPKI()),
-				fmt.Sprintf("%.5f", res.Accuracy()),
-				fmt.Sprintf("%.4f", res.BubbleFrac()),
-				fmt.Sprintf("%.1f", kb),
-				fmt.Sprintf("%.1f", bd.Total()/1000),
-				fmt.Sprintf("%.0f", energy.PerKiloInst(res.Instructions)),
+			grid = append(grid, point{di, strings.TrimSpace(wl)})
+			jobs = append(jobs, runner.Sim{
+				Topology: d.Topology, Opt: d.Opt,
+				Workload: strings.TrimSpace(wl),
+				Core:     core, Insts: *insts,
 			})
 		}
+	}
+	full, err := runner.RunFull(jobs, runner.Options{Workers: *jobsN, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range full {
+		d, res := points[grid[i].design], r.Sim
+		energy := area.Energy(r.Pipeline)
+		w.Write([]string{
+			d.Name, d.Topology, grid[i].workload, *host,
+			fmt.Sprint(res.Instructions), fmt.Sprint(res.Cycles),
+			fmt.Sprintf("%.4f", res.IPC()),
+			fmt.Sprintf("%.3f", res.MPKI()),
+			fmt.Sprintf("%.5f", res.Accuracy()),
+			fmt.Sprintf("%.4f", res.BubbleFrac()),
+			fmt.Sprintf("%.1f", statics[grid[i].design].kb),
+			fmt.Sprintf("%.1f", statics[grid[i].design].arKU),
+			fmt.Sprintf("%.0f", energy.PerKiloInst(res.Instructions)),
+		})
 	}
 }
 

@@ -2,6 +2,38 @@ package compose
 
 import "testing"
 
+// FuzzParse seeds the corpus with the three Table I designs — the exact
+// strings every experiment parses — plus malformed bracket/fan-in variants,
+// and asserts MustParse → String() → MustParse is a round-trip: the
+// canonical form re-parses to the same canonical form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// Table I, verbatim.
+		"TOURNEY3 > [GBIM2 > BTB2, LBIM2]",    // tourney
+		"GTAG3 > BTB2 > BIM2",                 // b2
+		"LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", // tage-l
+		// Malformed brackets and fan-in shapes the parser must reject
+		// (or accept canonically) without panicking.
+		"TOURNEY3 > [GBIM2 > BTB2, LBIM2",   // unclosed fan-in
+		"TOURNEY3 > GBIM2 > BTB2, LBIM2]",   // stray close
+		"TOURNEY3 > [, LBIM2]",              // empty fan-in arm
+		"TOURNEY3 > [GBIM2 > [BTB2, LBIM2]", // nested unbalanced
+		"[A, B] > C",                        // fan-in with no selector
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := ParseTopology(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := topo.String()
+		if again := MustParse(canon).String(); again != canon {
+			t.Fatalf("MustParse round-trip broken: %q -> %q -> %q", src, canon, again)
+		}
+	})
+}
+
 // FuzzParseTopology asserts the parser never panics and that anything it
 // accepts round-trips through its canonical form.
 func FuzzParseTopology(f *testing.F) {

@@ -15,6 +15,7 @@ import (
 	"cobra/internal/commercial"
 	"cobra/internal/compose"
 	"cobra/internal/pred"
+	"cobra/internal/runner"
 	"cobra/internal/stats"
 	"cobra/internal/trace"
 	"cobra/internal/uarch"
@@ -26,6 +27,11 @@ type Config struct {
 	Insts  uint64 // architectural instructions per measured run
 	Warmup uint64 // instructions discarded before measurement
 	Seed   uint64
+
+	// Parallelism caps the worker goroutines the runner fans simulations
+	// out on: 0 means GOMAXPROCS, 1 forces the serial path.  Results are
+	// bit-identical for every value (see internal/runner).
+	Parallelism int
 }
 
 // Defaults fills zero fields.
@@ -64,8 +70,11 @@ func pipeline(d design) *compose.Pipeline {
 	return p
 }
 
-// run executes one (design, workload) full-core simulation, discarding the
-// warm-up slice when configured.
+// run executes one (design, workload) full-core simulation with the batch
+// base seed, discarding the warm-up slice when configured.  Only TraceGap
+// still uses this direct path: its in-core run must share cfg.Seed with the
+// trace capture it is compared against.  Every other experiment submits its
+// grid to the parallel runner via runAll.
 func run(d design, workload string, core uarch.Config, cfg Config) *stats.Sim {
 	bp := pipeline(d)
 	prog, err := workloads.Get(workload)
@@ -78,6 +87,24 @@ func run(d design, workload string, core uarch.Config, cfg Config) *stats.Sim {
 		c.ResetStats()
 	}
 	return c.Run(cfg.Insts)
+}
+
+// job describes one grid point for the parallel runner.
+func (c Config) job(d design, workload string, core uarch.Config) runner.Sim {
+	return runner.Sim{
+		Topology: d.topo, Opt: d.opt, Workload: workload,
+		Core: core, Insts: c.Insts, Warmup: c.Warmup,
+	}
+}
+
+// runAll fans an experiment's independent simulations out across
+// c.Parallelism workers; results come back in submission order.
+func (c Config) runAll(jobs []runner.Sim) []*stats.Sim {
+	res, err := runner.Run(jobs, runner.Options{Workers: c.Parallelism, Seed: c.Seed})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res
 }
 
 // ---- Table I ----
@@ -201,24 +228,35 @@ type Fig10Row struct {
 // Fig10Systems is the evaluation order of Fig. 10.
 var Fig10Systems = []string{"skylake", "graviton", "tourney", "b2", "tage-l"}
 
-// Fig10 runs the 10 SPECint proxies across the five systems and returns
-// per-benchmark rows plus a rendered table with HARMEAN summary rows.
+// Fig10 runs the 10 SPECint proxies across the five systems — a 50-point
+// embarrassingly parallel grid — and returns per-benchmark rows plus a
+// rendered table with HARMEAN summary rows.
 func Fig10(cfg Config) ([]Fig10Row, *stats.Table) {
 	cfg = cfg.Defaults()
-	rows := make([]Fig10Row, 0, 10)
+	type point struct{ workload, system string }
+	var jobs []runner.Sim
+	var grid []point
 	for _, w := range workloads.Names() {
-		row := Fig10Row{Workload: w, MPKI: map[string]float64{}, IPC: map[string]float64{}}
 		for _, sys := range commercial.Systems() {
-			res := run(design{sys.Name, sys.Topology, sys.Opt}, w, sys.Core, cfg)
-			row.MPKI[sys.Name] = res.MPKI()
-			row.IPC[sys.Name] = res.IPC()
+			jobs = append(jobs, cfg.job(design{sys.Name, sys.Topology, sys.Opt}, w, sys.Core))
+			grid = append(grid, point{w, sys.Name})
 		}
 		for _, d := range designs() {
-			res := run(d, w, uarch.DefaultConfig(), cfg)
-			row.MPKI[d.name] = res.MPKI()
-			row.IPC[d.name] = res.IPC()
+			jobs = append(jobs, cfg.job(d, w, uarch.DefaultConfig()))
+			grid = append(grid, point{w, d.name})
 		}
-		rows = append(rows, row)
+	}
+	results := cfg.runAll(jobs)
+	rows := make([]Fig10Row, 0, 10)
+	byName := map[string]*Fig10Row{}
+	for _, w := range workloads.Names() {
+		rows = append(rows, Fig10Row{Workload: w, MPKI: map[string]float64{}, IPC: map[string]float64{}})
+		byName[w] = &rows[len(rows)-1]
+	}
+	for i, res := range results {
+		row := byName[grid[i].workload]
+		row.MPKI[grid[i].system] = res.MPKI()
+		row.IPC[grid[i].system] = res.IPC()
 	}
 	return rows, renderFig10(rows)
 }
@@ -283,10 +321,13 @@ func SerializedFetch(cfg Config) *stats.Table {
 		Headers: []string{"fetch mode", "IPC", "MPKI", "delta-IPC"},
 	}
 	base := uarch.DefaultConfig()
-	wide := run(designs()[2], "dhrystone", base, cfg)
 	serialCfg := base
 	serialCfg.SerializedFetch = true
-	serial := run(designs()[2], "dhrystone", serialCfg, cfg)
+	res := cfg.runAll([]runner.Sim{
+		cfg.job(designs()[2], "dhrystone", base),
+		cfg.job(designs()[2], "dhrystone", serialCfg),
+	})
+	wide, serial := res[0], res[1]
 	t.AddRow("superscalar", fmt.Sprintf("%.3f", wide.IPC()), fmt.Sprintf("%.2f", wide.MPKI()), "-")
 	t.AddRow("serialized", fmt.Sprintf("%.3f", serial.IPC()), fmt.Sprintf("%.2f", serial.MPKI()),
 		fmt.Sprintf("%+.1f%%", (serial.IPC()/wide.IPC()-1)*100))
@@ -305,10 +346,14 @@ func TageLatency(cfg Config) *stats.Table {
 	}
 	d2 := design{"tage-l2", "LOOP3 > TAGE2 > BTB2 > BIM2 > UBTB1", compose.Options{GHistBits: 64}}
 	d3 := designs()[2]
-	var deltas []float64
+	var jobs []runner.Sim
 	for _, w := range workloads.Names() {
-		r2 := run(d2, w, uarch.DefaultConfig(), cfg)
-		r3 := run(d3, w, uarch.DefaultConfig(), cfg)
+		jobs = append(jobs, cfg.job(d2, w, uarch.DefaultConfig()), cfg.job(d3, w, uarch.DefaultConfig()))
+	}
+	res := cfg.runAll(jobs)
+	var deltas []float64
+	for i, w := range workloads.Names() {
+		r2, r3 := res[2*i], res[2*i+1]
 		delta := (r3.IPC()/r2.IPC() - 1) * 100
 		deltas = append(deltas, delta)
 		t.AddRow(w,
@@ -334,14 +379,21 @@ func HistoryRepair(cfg Config) *stats.Table {
 	}
 	pols := []compose.GHRPolicy{compose.GHRNoRepair, compose.GHRRepair, compose.GHRRepairReplay}
 	names := append(workloads.Names(), "dhrystone")
-	var ipc [3][]float64
-	var misp [3]uint64
+	var jobs []runner.Sim
 	for _, w := range names {
-		var row [3]*stats.Sim
-		for i, pol := range pols {
+		for _, pol := range pols {
 			d := designs()[2]
 			d.opt.GHRPolicy = pol
-			row[i] = run(d, w, uarch.DefaultConfig(), cfg)
+			jobs = append(jobs, cfg.job(d, w, uarch.DefaultConfig()))
+		}
+	}
+	res := cfg.runAll(jobs)
+	var ipc [3][]float64
+	var misp [3]uint64
+	for wi, w := range names {
+		var row [3]*stats.Sim
+		for i := range pols {
+			row[i] = res[wi*len(pols)+i]
 			if w != "dhrystone" {
 				ipc[i] = append(ipc[i], row[i].IPC())
 				misp[i] += row[i].Mispredicts
@@ -371,10 +423,13 @@ func SFB(cfg Config) *stats.Table {
 		Headers: []string{"SFB", "IPC (CoreMarks/MHz proxy)", "accuracy", "MPKI"},
 	}
 	base := uarch.DefaultConfig()
-	off := run(designs()[2], "coremark", base, cfg)
 	sfbCfg := base
 	sfbCfg.SFB = true
-	on := run(designs()[2], "coremark", sfbCfg, cfg)
+	res := cfg.runAll([]runner.Sim{
+		cfg.job(designs()[2], "coremark", base),
+		cfg.job(designs()[2], "coremark", sfbCfg),
+	})
+	off, on := res[0], res[1]
 	t.AddRow("off", fmt.Sprintf("%.3f", off.IPC()),
 		fmt.Sprintf("%.2f%%", off.Accuracy()*100), fmt.Sprintf("%.2f", off.MPKI()))
 	t.AddRow("on", fmt.Sprintf("%.3f", on.IPC()),
@@ -435,9 +490,14 @@ func AblationLoop(cfg Config) *stats.Table {
 	}
 	with := designs()[2]
 	without := design{"tage-noloop", "TAGE3 > BTB2 > BIM2 > UBTB1", compose.Options{GHistBits: 64}}
-	for _, w := range []string{"x264", "exchange2", "xz", "coremark"} {
-		a := run(with, w, uarch.DefaultConfig(), cfg)
-		b := run(without, w, uarch.DefaultConfig(), cfg)
+	ws := []string{"x264", "exchange2", "xz", "coremark"}
+	var jobs []runner.Sim
+	for _, w := range ws {
+		jobs = append(jobs, cfg.job(with, w, uarch.DefaultConfig()), cfg.job(without, w, uarch.DefaultConfig()))
+	}
+	res := cfg.runAll(jobs)
+	for i, w := range ws {
+		a, b := res[2*i], res[2*i+1]
 		t.AddRow(w,
 			fmt.Sprintf("%.2f", a.MPKI()), fmt.Sprintf("%.2f", b.MPKI()),
 			fmt.Sprintf("%.3f", a.IPC()), fmt.Sprintf("%.3f", b.IPC()))
@@ -454,9 +514,14 @@ func AblationUBTB(cfg Config) *stats.Table {
 	}
 	with := designs()[2]
 	without := design{"tage-noubtb", "LOOP3 > TAGE3 > BTB2 > BIM2", compose.Options{GHistBits: 64}}
-	for _, w := range []string{"dhrystone", "gcc", "xalancbmk"} {
-		a := run(with, w, uarch.DefaultConfig(), cfg)
-		b := run(without, w, uarch.DefaultConfig(), cfg)
+	ws := []string{"dhrystone", "gcc", "xalancbmk"}
+	var jobs []runner.Sim
+	for _, w := range ws {
+		jobs = append(jobs, cfg.job(with, w, uarch.DefaultConfig()), cfg.job(without, w, uarch.DefaultConfig()))
+	}
+	res := cfg.runAll(jobs)
+	for i, w := range ws {
+		a, b := res[2*i], res[2*i+1]
 		t.AddRow(w,
 			fmt.Sprintf("%.1f%%", a.BubbleFrac()*100), fmt.Sprintf("%.1f%%", b.BubbleFrac()*100),
 			fmt.Sprintf("%.3f", a.IPC()), fmt.Sprintf("%.3f", b.IPC()))
@@ -473,17 +538,23 @@ func Shootout(cfg Config) *stats.Table {
 		Title:   "Library shootout — every direction component over BTB2 > BIM2",
 		Headers: []string{"component", "gcc MPKI", "gcc IPC", "leela MPKI", "leela IPC", "storage KB"},
 	}
-	for _, comp := range []string{
+	comps := []string{
 		"GBIM3", "GSEL3", "PBIM3", "GSKEW3", "YAGS3", "GTAG3", "PERC3", "GEHL3", "TAGE3",
-	} {
+	}
+	var jobs []runner.Sim
+	for _, comp := range comps {
+		d := design{comp, comp + " > BTB2 > BIM2", compose.Options{GHistBits: 64}}
+		jobs = append(jobs, cfg.job(d, "gcc", uarch.DefaultConfig()), cfg.job(d, "leela", uarch.DefaultConfig()))
+	}
+	res := cfg.runAll(jobs)
+	for i, comp := range comps {
 		d := design{comp, comp + " > BTB2 > BIM2", compose.Options{GHistBits: 64}}
 		p := pipeline(d)
 		bits := 0
 		for _, b := range p.ComponentBudgets() {
 			bits += b.TotalBits()
 		}
-		g := run(d, "gcc", uarch.DefaultConfig(), cfg)
-		l := run(d, "leela", uarch.DefaultConfig(), cfg)
+		g, l := res[2*i], res[2*i+1]
 		t.AddRow(comp,
 			fmt.Sprintf("%.2f", g.MPKI()), fmt.Sprintf("%.3f", g.IPC()),
 			fmt.Sprintf("%.2f", l.MPKI()), fmt.Sprintf("%.3f", l.IPC()),
@@ -501,29 +572,30 @@ func AblationWidth(cfg Config) *stats.Table {
 		Title:   "Ablation — fetch geometry: 4x4B vs 8x2B packets (§III-C)",
 		Headers: []string{"workload", "IPC 4-wide", "IPC 8-wide", "delta", "MPKI 4-wide", "MPKI 8-wide"},
 	}
-	run := func(w string, fetch pred.Config, instBytes int) *stats.Sim {
+	job := func(w string, fetch pred.Config, instBytes int) runner.Sim {
 		prof, ok := workloads.GetProfile(w)
 		if !ok {
 			panic("unknown profile " + w)
 		}
-		prog := workloads.BuildWithGeometry(prof, instBytes)
-		bp, err := compose.New(fetch, compose.MustParse("LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"),
-			compose.Options{GHistBits: 64})
-		if err != nil {
-			panic(err)
-		}
 		core := uarch.DefaultConfig()
 		core.Fetch = fetch
-		c := uarch.NewCore(core, bp, prog, cfg.Seed)
-		if cfg.Warmup > 0 {
-			c.Run(cfg.Warmup)
-			c.ResetStats()
+		return runner.Sim{
+			Topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+			Opt:      compose.Options{GHistBits: 64},
+			Prog:     workloads.BuildWithGeometry(prof, instBytes),
+			Core:     core, Insts: cfg.Insts, Warmup: cfg.Warmup,
 		}
-		return c.Run(cfg.Insts)
 	}
-	for _, w := range []string{"gcc", "x264", "exchange2"} {
-		n := run(w, pred.Config{FetchWidth: 4, InstBytes: 4}, 4)
-		wide := run(w, pred.Config{FetchWidth: 8, InstBytes: 2}, 2)
+	ws := []string{"gcc", "x264", "exchange2"}
+	var jobs []runner.Sim
+	for _, w := range ws {
+		jobs = append(jobs,
+			job(w, pred.Config{FetchWidth: 4, InstBytes: 4}, 4),
+			job(w, pred.Config{FetchWidth: 8, InstBytes: 2}, 2))
+	}
+	res := cfg.runAll(jobs)
+	for i, w := range ws {
+		n, wide := res[2*i], res[2*i+1]
 		t.AddRow(w,
 			fmt.Sprintf("%.3f", n.IPC()), fmt.Sprintf("%.3f", wide.IPC()),
 			fmt.Sprintf("%+.1f%%", (wide.IPC()/n.IPC()-1)*100),
@@ -569,25 +641,33 @@ func Energy(cfg Config) *stats.Table {
 		Title:   "Predictor SRAM access energy (model units per kilo-instruction)",
 		Headers: []string{"design", "workload", "eU/kinst", "top consumer"},
 	}
+	type point struct {
+		d design
+		w string
+	}
+	var grid []point
+	var jobs []runner.Sim
 	for _, d := range designs() {
 		for _, w := range []string{"gcc", "x264"} {
-			bp := pipeline(d)
-			prog, err := workloads.Get(w)
-			if err != nil {
-				panic(err)
-			}
-			res := uarch.NewCore(uarch.DefaultConfig(), bp, prog, cfg.Seed).Run(cfg.Insts)
-			rep := area.Energy(bp)
-			top := ""
-			best := -1.0
-			for _, it := range rep.Items {
-				if it.Units > best {
-					best, top = it.Units, it.Name
-				}
-			}
-			t.AddRow(d.name, w,
-				fmt.Sprintf("%.0f", rep.PerKiloInst(res.Instructions)), top)
+			grid = append(grid, point{d, w})
+			jobs = append(jobs, cfg.job(d, w, uarch.DefaultConfig()))
 		}
+	}
+	full, err := runner.RunFull(jobs, runner.Options{Workers: cfg.Parallelism, Seed: cfg.Seed})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	for i, r := range full {
+		rep := area.Energy(r.Pipeline)
+		top := ""
+		best := -1.0
+		for _, it := range rep.Items {
+			if it.Units > best {
+				best, top = it.Units, it.Name
+			}
+		}
+		t.AddRow(grid[i].d.name, grid[i].w,
+			fmt.Sprintf("%.0f", rep.PerKiloInst(r.Sim.Instructions)), top)
 	}
 	return t
 }

@@ -127,6 +127,9 @@ func Compile(name, src string) (*program.Program, *Machine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("isa: %s: %w (programs must loop forever and never fall off the image)", name, err)
 	}
+	// Bridge behaviours mutate the shared Machine, so the image cannot be
+	// shared or cached like the slot-based synthetic programs.
+	p.SingleUse = true
 	return p, m, nil
 }
 

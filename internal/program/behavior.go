@@ -1,12 +1,17 @@
 package program
 
 // State is the shared architectural execution state behaviours may consult:
-// the committed branch-outcome history (for correlated branches) and a
-// deterministic PRNG (for biased-random branches).
+// the committed branch-outcome history (for correlated branches), a
+// deterministic PRNG (for biased-random branches), and the slot array that
+// holds every stateful behaviour's per-execution counters.  Keeping those
+// counters here — rather than inside the behaviour structs — is what makes a
+// built Program immutable, so one cached instance can drive any number of
+// concurrent simulations.
 type State struct {
-	rng    uint64 // xorshift64* state
-	recent uint64 // last 64 committed conditional-branch outcomes, bit 0 newest
-	iter   uint64 // committed instruction count
+	rng    uint64   // xorshift64* state
+	recent uint64   // last 64 committed conditional-branch outcomes, bit 0 newest
+	iter   uint64   // committed instruction count
+	slots  []uint64 // per-execution behaviour state, indexed by slot id
 }
 
 // NewState seeds the architectural state.
@@ -52,6 +57,44 @@ func (s *State) Tick() { s.iter++ }
 // Iter returns the committed instruction count.
 func (s *State) Iter() uint64 { return s.iter }
 
+// slot returns the per-execution state cell for a behaviour, growing the
+// array on first touch (behaviours used outside a sealed Program default to
+// slot 0).
+func (s *State) slot(id int) *uint64 {
+	if id >= len(s.slots) {
+		grown := make([]uint64, id+1)
+		copy(grown, s.slots)
+		s.slots = grown
+	}
+	return &s.slots[id]
+}
+
+// grow pre-sizes the slot array for a program's behaviours.
+func (s *State) grow(n int) {
+	if n > len(s.slots) {
+		grown := make([]uint64, n)
+		copy(grown, s.slots)
+		s.slots = grown
+	}
+}
+
+// slotted is implemented by behaviours whose per-execution state lives in a
+// State slot.  Program.Validate assigns each such behaviour a distinct slot
+// id (in PC order, so assignment is deterministic), after which the
+// behaviour struct itself is never written again.  Id 0 is the unassigned
+// sentinel: behaviours used standalone (outside a validated Program) all
+// share slot 0.
+type slotted interface {
+	slotID() int
+	setSlot(id int)
+}
+
+// slotRef embeds a State-slot id into a stateful behaviour.
+type slotRef struct{ id int }
+
+func (s *slotRef) slotID() int    { return s.id }
+func (s *slotRef) setSlot(id int) { s.id = id }
+
 // DirBehavior produces a branch's dynamic direction; Next is called once per
 // architectural execution of the branch, in program order.
 type DirBehavior interface {
@@ -80,15 +123,16 @@ type SemBehavior interface {
 // LoopDir is taken Trip-1 times then not-taken once, repeating — a
 // fixed-trip-count loop back-edge, the loop predictor's home turf.
 type LoopDir struct {
+	slotRef
 	Trip int
-	i    int
 }
 
 // Next implements DirBehavior.
-func (l *LoopDir) Next(*State) bool {
-	l.i++
-	if l.i >= l.Trip {
-		l.i = 0
+func (l *LoopDir) Next(st *State) bool {
+	i := st.slot(l.id)
+	*i++
+	if *i >= uint64(l.Trip) {
+		*i = 0
 		return false
 	}
 	return true
@@ -97,14 +141,15 @@ func (l *LoopDir) Next(*State) bool {
 // PatternDir repeats a fixed direction pattern — learnable by any
 // global-history predictor whose history covers the period.
 type PatternDir struct {
+	slotRef
 	Bits []bool
-	i    int
 }
 
 // Next implements DirBehavior.
-func (p *PatternDir) Next(*State) bool {
-	b := p.Bits[p.i]
-	p.i = (p.i + 1) % len(p.Bits)
+func (p *PatternDir) Next(st *State) bool {
+	i := st.slot(p.id)
+	b := p.Bits[*i]
+	*i = (*i + 1) % uint64(len(p.Bits))
 	return b
 }
 
@@ -152,27 +197,29 @@ func (x *XorCorrDir) Next(st *State) bool {
 // whose phase is unrelated to global history — the local-history predictor's
 // specialty (and a source of Tournament-vs-B2 differences).
 type LocalPeriodicDir struct {
+	slotRef
 	Period int // taken except every Period-th execution
-	i      int
 }
 
 // Next implements DirBehavior.
-func (l *LocalPeriodicDir) Next(*State) bool {
-	l.i++
-	if l.i >= l.Period {
-		l.i = 0
+func (l *LocalPeriodicDir) Next(st *State) bool {
+	i := st.slot(l.id)
+	*i++
+	if *i >= uint64(l.Period) {
+		*i = 0
 		return false
 	}
 	return true
 }
 
 // AlternatingDir flips every execution (period-2 local pattern).
-type AlternatingDir struct{ state bool }
+type AlternatingDir struct{ slotRef }
 
 // Next implements DirBehavior.
-func (a *AlternatingDir) Next(*State) bool {
-	a.state = !a.state
-	return a.state
+func (a *AlternatingDir) Next(st *State) bool {
+	i := st.slot(a.id)
+	*i ^= 1
+	return *i == 1
 }
 
 // --- target behaviours ---
@@ -180,14 +227,15 @@ func (a *AlternatingDir) Next(*State) bool {
 // CycleTgt cycles through a fixed target list (a switch statement visiting
 // cases round-robin).
 type CycleTgt struct {
+	slotRef
 	Targets []uint64
-	i       int
 }
 
 // NextTarget implements TgtBehavior.
-func (c *CycleTgt) NextTarget(*State) uint64 {
-	t := c.Targets[c.i]
-	c.i = (c.i + 1) % len(c.Targets)
+func (c *CycleTgt) NextTarget(st *State) uint64 {
+	i := st.slot(c.id)
+	t := c.Targets[*i]
+	*i = (*i + 1) % uint64(len(c.Targets))
 	return t
 }
 
@@ -212,18 +260,19 @@ func (w *WeightedTgt) NextTarget(st *State) uint64 {
 // StrideMem walks Base..Base+Span with a fixed stride (streaming access;
 // mostly cache hits after warmup).
 type StrideMem struct {
+	slotRef
 	Base   uint64
 	Stride uint64
 	Span   uint64
-	off    uint64
 }
 
 // NextAddr implements MemBehavior.
-func (m *StrideMem) NextAddr(*State) uint64 {
-	a := m.Base + m.off
-	m.off += m.Stride
-	if m.Span > 0 && m.off >= m.Span {
-		m.off = 0
+func (m *StrideMem) NextAddr(st *State) uint64 {
+	off := st.slot(m.id)
+	a := m.Base + *off
+	*off += m.Stride
+	if m.Span > 0 && *off >= m.Span {
+		*off = 0
 	}
 	return a
 }

@@ -27,7 +27,9 @@ type Oracle struct {
 
 // NewOracle starts architectural execution at the program entry.
 func NewOracle(p *Program, seed uint64) *Oracle {
-	return &Oracle{prog: p, st: NewState(seed), pc: p.Entry}
+	st := NewState(seed)
+	st.grow(p.Slots())
+	return &Oracle{prog: p, st: st, pc: p.Entry}
 }
 
 // State exposes the architectural state (behaviours share it).

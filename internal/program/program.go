@@ -16,7 +16,10 @@
 // outcomes exist only on the committed path, exactly as in hardware.
 package program
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind classifies an instruction's control-flow role.
 type Kind uint8
@@ -98,16 +101,24 @@ type Inst struct {
 
 // Program is a closed static instruction image.
 //
-// Branch/target/memory behaviours attached to instructions are *stateful*
-// (loop counters, pattern phases): a Program instance supports exactly one
-// architectural execution.  Build a fresh instance per simulation — the
-// workloads package generators are deterministic, so two builds with the
-// same profile produce identical dynamics.
+// Built-in behaviours keep their per-execution state (loop counters, pattern
+// phases) in State slots assigned by Add, so a built Program is immutable:
+// any number of concurrent Oracles — and therefore simulations — may share
+// one instance.  The exception is interpreted-ISA programs, whose behaviours
+// mutate a shared Machine; those set SingleUse and must be rebuilt per
+// simulation (the workloads cache honours this).
 type Program struct {
 	Name      string
 	Entry     uint64
 	InstBytes int
-	insts     map[uint64]*Inst
+
+	// SingleUse marks a program whose behaviours carry mutable state outside
+	// State slots (interpreted-ISA machines); such a program supports exactly
+	// one architectural execution and must never be shared or cached.
+	SingleUse bool
+
+	insts  map[uint64]*Inst
+	nSlots int
 }
 
 // New creates an empty program.
@@ -124,6 +135,31 @@ func (p *Program) Add(i *Inst) {
 	p.insts[i.PC] = i
 }
 
+// Slots returns how many State cells the program's behaviours use (slot ids
+// run 1..n; cell 0 is the shared default for unassigned behaviours).
+func (p *Program) Slots() int { return p.nSlots + 1 }
+
+// assignSlots gives every stateful behaviour its State slot, in PC order so
+// two builds of the same program assign identically.  A behaviour shared by
+// several instructions keeps its first assignment (shared dynamic state,
+// matching the semantics it had when the state lived in the struct).
+func (p *Program) assignSlots() {
+	pcs := make([]uint64, 0, len(p.insts))
+	for pc := range p.insts {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(a, b int) bool { return pcs[a] < pcs[b] })
+	for _, pc := range pcs {
+		i := p.insts[pc]
+		for _, b := range []any{i.Dir, i.Tgt, i.Mem, i.Sem} {
+			if s, ok := b.(slotted); ok && s.slotID() == 0 {
+				p.nSlots++
+				s.setSlot(p.nSlots)
+			}
+		}
+	}
+}
+
 // At returns the instruction at pc, or nil outside the image (wrong-path
 // fetch beyond the program fetches garbage, modelled as nil -> NOP).
 func (p *Program) At(pc uint64) *Inst { return p.insts[pc] }
@@ -132,8 +168,12 @@ func (p *Program) At(pc uint64) *Inst { return p.insts[pc] }
 func (p *Program) Len() int { return len(p.insts) }
 
 // Validate checks the image is closed: every static target exists, every
-// branch has a direction behaviour, every indirect a target behaviour.
+// branch has a direction behaviour, every indirect a target behaviour.  It
+// also assigns State slots to stateful behaviours, finalizing the image:
+// after a successful Validate the Program is immutable (unless SingleUse)
+// and may be shared across concurrent simulations.
 func (p *Program) Validate() error {
+	p.assignSlots()
 	for pc, i := range p.insts {
 		if i.PC != pc {
 			return fmt.Errorf("program %s: inst PC %#x filed under %#x", p.Name, i.PC, pc)

@@ -253,6 +253,55 @@ func TestDuplicatePCPanics(t *testing.T) {
 	p.Add(&Inst{PC: 0x1000})
 }
 
+// TestProgramSharedAcrossOracles pins the immutability contract the
+// workload cache and parallel runner depend on: one built Program instance
+// driven by two independent Oracles produces identical, non-interfering
+// streams (all per-execution behaviour state lives in each Oracle's State).
+func TestProgramSharedAcrossOracles(t *testing.T) {
+	b := NewBuilder("shared", 0x1000, 4, 42)
+	sw := []uint64{}
+	entrySkip := b.ForwardJump()
+	exits := []*Fixup{}
+	for i := 0; i < 3; i++ {
+		sw = append(sw, b.PC())
+		b.Ops(2, 0.3, 0, 0, func() MemBehavior {
+			return &StrideMem{Base: 0x8000, Stride: 8, Span: 64}
+		})
+		exits = append(exits, b.ForwardJump())
+	}
+	entrySkip.Bind()
+	head := b.PC()
+	b.Loop(7, func() {
+		b.Hammock(0.5, 2, ClassALU)
+		b.Ops(2, 0, 0, 0, nil)
+	})
+	b.Indirect(&CycleTgt{Targets: sw})
+	for _, fx := range exits {
+		fx.Bind()
+	}
+	b.Jump(head)
+	p := b.MustSeal()
+	if p.Slots() == 0 {
+		t.Fatal("program with loops/strides/cycle targets must allocate State slots")
+	}
+
+	// Interleave two oracles over the same image: each must see the stream a
+	// private program copy would have produced.
+	a, b2 := NewOracle(p, 9), NewOracle(p, 9)
+	// Advance a ahead by a full pass to desynchronize, then restart b2's
+	// comparison against a fresh third oracle.
+	for i := 0; i < 100; i++ {
+		a.Next()
+	}
+	c := NewOracle(p, 9)
+	for i := 0; i < 500; i++ {
+		sb, sc := b2.Next(), c.Next()
+		if sb.PC != sc.PC || sb.Taken != sc.Taken || sb.Addr != sc.Addr || sb.Target != sc.Target {
+			t.Fatalf("shared-program divergence at step %d: %+v vs %+v", i, sb, sc)
+		}
+	}
+}
+
 func TestOracleDeterministicReplay(t *testing.T) {
 	mk := func() *Oracle {
 		b := NewBuilder("det", 0x1000, 4, 42)

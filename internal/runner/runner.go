@@ -1,0 +1,195 @@
+// Package runner is the parallel experiment engine: it fans a batch of
+// independent full-core simulations (design × workload × core config) out
+// across worker goroutines and merges the results back in deterministic
+// submission order.
+//
+// Determinism is the contract, not a best effort.  Three properties make a
+// batch's output bit-identical regardless of worker count:
+//
+//  1. every job gets its own compose.Pipeline and uarch.Core — no predictor
+//     or core state is shared between jobs;
+//  2. job i's seed is Derive(base, i), a splitmix64 stream indexed by
+//     submission position, so a job's dynamics depend only on its position
+//     in the batch, never on which worker ran it or when;
+//  3. results land in out[i] for job i — workers race only over disjoint
+//     slots, and the merged slice reads in submission order.
+//
+// Shared inputs are safe by construction: synthetic programs are immutable
+// after build (per-execution behaviour state lives in each oracle's State
+// slots) and the workloads cache hands every job the same instance, while
+// single-use interpreted-ISA programs are compiled fresh per job.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cobra/internal/compose"
+	"cobra/internal/program"
+	"cobra/internal/stats"
+	"cobra/internal/uarch"
+	"cobra/internal/workloads"
+)
+
+// Derive returns the seed for the job at a submission index: the index-th
+// output of a splitmix64 stream started at base.  Distinct indices give
+// statistically independent seeds even for adjacent bases, and the result
+// never collides with the "use the default" zero seed.
+func Derive(base, index uint64) uint64 {
+	x := base + (index+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return x
+}
+
+// Map runs fn(0) … fn(n-1) on up to workers goroutines and returns the
+// results indexed by argument — the deterministic-merge primitive under
+// Run, exported for experiments whose jobs need more than a Sim describes
+// (post-run pipeline inspection, custom program construction).  workers <= 0
+// means runtime.GOMAXPROCS(0); workers == 1 runs everything inline on the
+// calling goroutine (the serial path).
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Sim describes one independent full-core simulation.
+type Sim struct {
+	Topology string          // predictor topology (parsed per job)
+	Opt      compose.Options // management-structure options
+	Workload string          // resolved via workloads.Get when Prog is nil
+
+	// Prog, when non-nil, overrides Workload with a pre-built program (e.g.
+	// a non-default fetch geometry).  A shared instance must not be
+	// SingleUse.
+	Prog *program.Program
+
+	Core   uarch.Config
+	Insts  uint64 // measured instructions
+	Warmup uint64 // instructions discarded before measurement
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers caps the worker goroutines: <= 0 means GOMAXPROCS, 1 forces
+	// the serial in-line path.  The choice never changes results.
+	Workers int
+	// Seed is the base seed; job i runs with Derive(Seed, i).
+	Seed uint64
+}
+
+// Result pairs one job's counters with the pipeline that produced them, for
+// post-run area/energy attribution.
+type Result struct {
+	Sim      *stats.Sim
+	Pipeline *compose.Pipeline
+}
+
+// run executes one job with an already-derived seed.
+func (j Sim) run(seed uint64) (Result, error) {
+	topo, err := compose.ParseTopology(j.Topology)
+	if err != nil {
+		return Result{}, err
+	}
+	bp, err := compose.New(j.Core.Fetch, topo, j.Opt)
+	if err != nil {
+		return Result{}, err
+	}
+	prog := j.Prog
+	if prog == nil {
+		if prog, err = workloads.Get(j.Workload); err != nil {
+			return Result{}, err
+		}
+	} else if prog.SingleUse {
+		// A pre-built single-use program may already have executed, and other
+		// jobs in the batch may hold the same pointer; name the workload
+		// instead so each job compiles its own copy.
+		return Result{}, fmt.Errorf("pre-built program %s is single-use; pass it by workload name", prog.Name)
+	}
+	c := uarch.NewCore(j.Core, bp, prog, seed)
+	if j.Warmup > 0 {
+		c.Run(j.Warmup)
+		c.ResetStats()
+	}
+	return Result{Sim: c.Run(j.Insts), Pipeline: bp}, nil
+}
+
+// RunFull executes jobs across workers and returns results in submission
+// order.  The first job error (lowest index) aborts the batch after all
+// in-flight jobs drain.
+func RunFull(jobs []Sim, opt Options) ([]Result, error) {
+	type slot struct {
+		res Result
+		err error
+	}
+	rs := Map(opt.Workers, len(jobs), func(i int) slot {
+		res, err := jobs[i].run(Derive(opt.Seed, uint64(i)))
+		if err != nil {
+			err = fmt.Errorf("runner: job %d (%q on %s): %w", i, jobs[i].Topology, jobs[i].describeWorkload(), err)
+		}
+		return slot{res, err}
+	})
+	out := make([]Result, len(jobs))
+	for i, r := range rs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[i] = r.res
+	}
+	return out, nil
+}
+
+// Run is RunFull without the pipeline handles — the common case.
+func Run(jobs []Sim, opt Options) ([]*stats.Sim, error) {
+	full, err := RunFull(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*stats.Sim, len(full))
+	for i, r := range full {
+		out[i] = r.Sim
+	}
+	return out, nil
+}
+
+func (j Sim) describeWorkload() string {
+	if j.Prog != nil {
+		return "program " + j.Prog.Name
+	}
+	return "workload " + j.Workload
+}

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"runtime"
+	"testing"
+
+	"cobra/internal/compose"
+	"cobra/internal/stats"
+	"cobra/internal/uarch"
+	"cobra/internal/workloads"
+)
+
+func testJobs(insts uint64) []Sim {
+	core := uarch.DefaultConfig()
+	jobs := []Sim{}
+	for _, topo := range []string{"GBIM3 > BTB2 > BIM2", "GTAG3 > BTB2 > BIM2"} {
+		for _, w := range []string{"dhrystone", "gcc", "sort"} {
+			jobs = append(jobs, Sim{
+				Topology: topo,
+				Opt:      compose.Options{GHistBits: 32},
+				Workload: w,
+				Core:     core,
+				Insts:    insts,
+			})
+		}
+	}
+	return jobs
+}
+
+// fingerprint reduces a result to the fields the experiment tables render.
+type fingerprint struct {
+	cycles, insts, misp, bubbles uint64
+}
+
+func fp(s *stats.Sim) fingerprint {
+	return fingerprint{s.Cycles, s.Instructions, s.Mispredicts, s.FetchBubbles}
+}
+
+// TestWorkerCountInvariance is the determinism contract: the same batch run
+// with 1, 3, and GOMAXPROCS workers produces identical counters per job.
+func TestWorkerCountInvariance(t *testing.T) {
+	jobs := testJobs(20_000)
+	serial, err := Run(jobs, Options{Workers: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, runtime.GOMAXPROCS(0), 0} {
+		par, err := Run(jobs, Options{Workers: workers, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range jobs {
+			if fp(serial[i]) != fp(par[i]) {
+				t.Fatalf("workers=%d job %d diverged: serial %+v parallel %+v",
+					workers, i, fp(serial[i]), fp(par[i]))
+			}
+		}
+	}
+}
+
+// TestSeedDerivationPerIndex: two jobs identical except for position must
+// see different seeds (independent dynamics), and the same position must
+// reproduce exactly.
+func TestSeedDerivationPerIndex(t *testing.T) {
+	core := uarch.DefaultConfig()
+	j := Sim{Topology: "BIM2", Workload: "gcc", Core: core, Insts: 20_000}
+	res, err := Run([]Sim{j, j}, Options{Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp(res[0]) == fp(res[1]) {
+		t.Error("jobs at different indices ran with the same dynamics (seed not derived per index)")
+	}
+	again, err := Run([]Sim{j, j}, Options{Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if fp(res[i]) != fp(again[i]) {
+			t.Errorf("job %d not reproducible across runs", i)
+		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for i := uint64(0); i < 1000; i++ {
+			s := Derive(base, i)
+			if s == 0 {
+				t.Fatal("Derive produced the reserved zero seed")
+			}
+			if seen[s] {
+				t.Fatalf("Derive collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+	if Derive(42, 7) != Derive(42, 7) {
+		t.Error("Derive not deterministic")
+	}
+}
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if n := len(Map(4, 0, func(i int) int { return i })); n != 0 {
+		t.Errorf("empty map returned %d results", n)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	core := uarch.DefaultConfig()
+	if _, err := Run([]Sim{{Topology: "NOPE9", Workload: "gcc", Core: core, Insts: 100}},
+		Options{Workers: 2}); err == nil {
+		t.Error("unknown component must error")
+	}
+	if _, err := Run([]Sim{{Topology: "BIM2", Workload: "nonesuch", Core: core, Insts: 100}},
+		Options{Workers: 2}); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if _, err := Run([]Sim{{Topology: "] bad [", Workload: "gcc", Core: core, Insts: 100}},
+		Options{Workers: 2}); err == nil {
+		t.Error("malformed topology must error")
+	}
+	prog, err := workloads.Get("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run([]Sim{{Topology: "BIM2", Prog: prog, Core: core, Insts: 100}},
+		Options{Workers: 1}); err == nil {
+		t.Error("shared single-use program must be rejected")
+	}
+}
+
+// TestSharedCachedProgramConcurrently runs many jobs over the same cached
+// workload instance at high worker counts — the scenario the race detector
+// watches (run with -race in CI).
+func TestSharedCachedProgramConcurrently(t *testing.T) {
+	prog, err := workloads.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := uarch.DefaultConfig()
+	jobs := make([]Sim, 8)
+	for i := range jobs {
+		jobs[i] = Sim{Topology: "GBIM3 > BTB2 > BIM2", Opt: compose.Options{GHistBits: 32},
+			Prog: prog, Core: core, Insts: 10_000}
+	}
+	res, err := Run(jobs, Options{Workers: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Instructions < 10_000 {
+			t.Errorf("job %d committed %d insts", i, res[i].Instructions)
+		}
+	}
+}

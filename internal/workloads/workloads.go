@@ -17,6 +17,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cobra/internal/isa"
 	"cobra/internal/program"
@@ -164,14 +165,53 @@ func (g *genState) block() {
 	}
 }
 
+// Programs built from a profile are immutable after sealing (all behaviour
+// state lives in per-oracle State slots), so one instance can serve every
+// simulation — including concurrent ones — that wants the same workload.
+// The cache below memoizes builds per (profile, geometry); only the
+// interpreted-ISA kernels are excluded, because their behaviours share a
+// mutable Machine and each run needs a fresh compile.
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*program.Program{}
+)
+
+type cacheKey struct {
+	profile   Profile // zero Profile except Name for the fixed proxies
+	instBytes int
+}
+
+// memo returns the cached program for key, building it on first use.  The
+// build runs under the lock: builds are microseconds against simulations
+// that are seconds, and single-flight construction keeps the cache simple.
+func memo(key cacheKey, build func() *program.Program) *program.Program {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if prog, ok := cache[key]; ok {
+		return prog
+	}
+	prog := build()
+	if prog.SingleUse {
+		panic(fmt.Sprintf("workloads: %s is single-use and must not be cached", prog.Name))
+	}
+	cache[key] = prog
+	return prog
+}
+
 // Build generates the closed program for a profile (4-byte instructions).
 func Build(p Profile) *program.Program { return BuildWithGeometry(p, 4) }
 
-// BuildWithGeometry generates the profile's program at a chosen instruction
+// BuildWithGeometry returns the profile's program at a chosen instruction
 // width (2 for RVC-style 8-wide fetch experiments, 4 for the default
-// geometry).  The control-flow structure and dynamic behaviour are
-// identical across widths; only addresses scale.
+// geometry), memoized per (profile, width).  The control-flow structure and
+// dynamic behaviour are identical across widths; only addresses scale.
 func BuildWithGeometry(p Profile, instBytes int) *program.Program {
+	return memo(cacheKey{p, instBytes}, func() *program.Program {
+		return buildWithGeometry(p, instBytes)
+	})
+}
+
+func buildWithGeometry(p Profile, instBytes int) *program.Program {
 	g := &genState{p: p, rng: p.Seed ^ 0xC0B4A}
 	if g.rng == 0 {
 		g.rng = 1
@@ -319,9 +359,13 @@ func Names() []string {
 	return out
 }
 
-// Get builds the named workload: a SPECint proxy, "dhrystone", "coremark",
+// Get returns the named workload: a SPECint proxy, "dhrystone", "coremark",
 // or one of the interpreted-ISA kernels ("sort", "fib", "dispatch") whose
-// branch outcomes come from real register/memory semantics.
+// branch outcomes come from real register/memory semantics.  Synthetic
+// programs are memoized — repeated Gets return the same immutable instance,
+// which is safe to run on any number of cores at once.  The ISA kernels are
+// single-use (their behaviours share a mutable Machine) and are compiled
+// fresh on every call.
 func Get(name string) (*program.Program, error) {
 	switch name {
 	case "dhrystone":
@@ -358,10 +402,14 @@ func GetProfile(name string) (Profile, bool) {
 	return Profile{}, false
 }
 
-// Dhrystone builds the Dhrystone proxy: a small synthetic systems loop —
+// Dhrystone returns the Dhrystone proxy: a small synthetic systems loop —
 // tiny code footprint, highly predictable branches, a couple of short
 // function calls — the benchmark §II-A and §VI-B use.
 func Dhrystone() *program.Program {
+	return memo(cacheKey{Profile{Name: "dhrystone"}, 4}, buildDhrystone)
+}
+
+func buildDhrystone() *program.Program {
 	b := program.NewBuilder("dhrystone", 0x10000, 4, 777)
 	toMain := b.ForwardJump()
 	f1 := b.Func(func() {
@@ -395,11 +443,15 @@ func Dhrystone() *program.Program {
 	return b.MustSeal()
 }
 
-// CoreMark builds the CoreMark proxy: state-machine processing with many
+// CoreMark returns the CoreMark proxy: state-machine processing with many
 // short forward hammocks (50/50 data-dependent skips) plus list and matrix
 // phases — the workload whose accuracy §VI-C improves from 97% to 99.1%
 // with SFB predication.
 func CoreMark() *program.Program {
+	return memo(cacheKey{Profile{Name: "coremark"}, 4}, buildCoreMark)
+}
+
+func buildCoreMark() *program.Program {
 	b := program.NewBuilder("coremark", 0x10000, 4, 888)
 	toMain := b.ForwardJump()
 	// State machine: pattern-driven transitions + hammocks.

@@ -144,3 +144,50 @@ func TestHardnessOrdering(t *testing.T) {
 		t.Error("hard-branch fractions do not reflect the SPECint hardness ordering")
 	}
 }
+
+func TestGetMemoizesSyntheticPrograms(t *testing.T) {
+	for _, name := range []string{"gcc", "dhrystone", "coremark"} {
+		a, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: Get rebuilt a cacheable program", name)
+		}
+		if a.SingleUse {
+			t.Errorf("%s: cached program marked single-use", name)
+		}
+	}
+	// ISA kernels interpret a mutable machine: every Get must be fresh.
+	a, err := Get("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Get("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("sort: single-use ISA program was shared")
+	}
+	if !a.SingleUse {
+		t.Error("sort: ISA program not marked single-use")
+	}
+}
+
+func TestBuildWithGeometryMemoizesPerWidth(t *testing.T) {
+	p, ok := GetProfile("gcc")
+	if !ok {
+		t.Fatal("gcc profile missing")
+	}
+	if BuildWithGeometry(p, 4) != BuildWithGeometry(p, 4) {
+		t.Error("same geometry rebuilt")
+	}
+	if BuildWithGeometry(p, 4) == BuildWithGeometry(p, 2) {
+		t.Error("different geometries shared one program")
+	}
+}
