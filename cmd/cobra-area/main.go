@@ -18,6 +18,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-area:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		core   = flag.Bool("core", false, "whole-core breakdown (Fig. 9) instead of predictor-only (Fig. 8)")
 		design = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
@@ -33,8 +40,7 @@ func main() {
 			}
 		}
 		if designs == nil {
-			fmt.Fprintf(os.Stderr, "cobra-area: unknown design %q\n", *design)
-			os.Exit(1)
+			return fmt.Errorf("unknown design %q", *design)
 		}
 	}
 	for _, d := range designs {
@@ -48,8 +54,7 @@ func main() {
 			bd, err = cobra.PredictorArea(d)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cobra-area:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Print(bd.Render())
 		if kb, err := d.StorageKB(); err == nil && !*core {
@@ -57,4 +62,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return nil
 }

@@ -20,6 +20,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-diagram:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		fig  = flag.Int("fig", 7, "paper figure to render: 2, 4, or 7")
 		topo = flag.String("topology", "", "render a custom topology instead")
@@ -27,8 +34,7 @@ func main() {
 	flag.Parse()
 
 	if *topo != "" {
-		render(cobra.Design{Name: "custom", Topology: *topo})
-		return
+		return render(cobra.Design{Name: "custom", Topology: *topo})
 	}
 	switch *fig {
 	case 2:
@@ -36,26 +42,32 @@ func main() {
 	case 4:
 		fmt.Println("Fig. 4 — the two §IV-A topologies of {uBTB1, PHT2, LOOP2}:")
 		fmt.Println()
-		render(cobra.Design{Name: "topology-1", Topology: "LOOP2 > PHT2 > UBTB1"})
-		render(cobra.Design{Name: "topology-2", Topology: "UBTB1 > PHT2 > LOOP2"})
+		if err := render(cobra.Design{Name: "topology-1", Topology: "LOOP2 > PHT2 > UBTB1"}); err != nil {
+			return err
+		}
+		if err := render(cobra.Design{Name: "topology-2", Topology: "UBTB1 > PHT2 > LOOP2"}); err != nil {
+			return err
+		}
 	case 7:
 		fmt.Println("Fig. 7 — pipeline diagrams of the COBRA-generated predictors:")
 		fmt.Println()
 		for _, d := range cobra.Designs() {
-			render(d)
+			if err := render(d); err != nil {
+				return err
+			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "cobra-diagram: no figure %d (have 2, 4, 7)\n", *fig)
-		os.Exit(1)
+		return fmt.Errorf("no figure %d (have 2, 4, 7)", *fig)
 	}
+	return nil
 }
 
-func render(d cobra.Design) {
+func render(d cobra.Design) error {
 	s, err := cobra.PipelineDiagram(d)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-diagram:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Print(s)
 	fmt.Println()
+	return nil
 }

@@ -6,6 +6,7 @@
 //	cobra-experiments -exp all -insts 2000000
 //	cobra-experiments -exp fig10 -j 8
 //	cobra-experiments -exp table1,table2,d3
+//	cobra-experiments -exp fig10 -paranoid -timeout 5m
 //
 // Experiment ids: table1 table2 table3 fig8 fig9 fig10 d1 d2 d3 d4
 // tracegap ablation-loop ablation-ubtb ablation-meta all
@@ -26,15 +27,25 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids")
-		insts  = flag.Uint64("insts", 1_000_000, "instructions per simulation run")
-		warmup = flag.Uint64("warmup", 0, "instructions discarded before measurement")
-		seed   = flag.Uint64("seed", 42, "workload seed")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids")
+		insts    = flag.Uint64("insts", 1_000_000, "instructions per simulation run")
+		warmup   = flag.Uint64("warmup", 0, "instructions discarded before measurement")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
+		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every simulated design")
+		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed, Parallelism: *jobs}
+	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed,
+		Parallelism: *jobs, Paranoid: *paranoid, Timeout: *timeout}
 
 	all := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10",
 		"d1", "d2", "d3", "d4", "tracegap", "energy",
@@ -81,9 +92,8 @@ func main() {
 		case "shootout":
 			fmt.Println(experiments.Shootout(cfg))
 		default:
-			fmt.Fprintf(os.Stderr, "cobra-experiments: unknown experiment %q (have %s)\n",
-				id, strings.Join(all, " "))
-			os.Exit(1)
+			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(all, " "))
 		}
 	}
+	return nil
 }

@@ -6,6 +6,7 @@
 //	cobra-sim -design tage-l -workload gcc -insts 2000000
 //	cobra-sim -topology "GTAG3 > BTB2 > BIM2" -ghist 16 -workload mcf
 //	cobra-sim -design tourney -workload dhrystone -policy replay -sfb
+//	cobra-sim -design tage-l -workload gcc -paranoid -timeout 60s
 package main
 
 import (
@@ -16,6 +17,54 @@ import (
 	"cobra"
 	"cobra/internal/stats"
 )
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		design   = flag.String("design", "tage-l", "paper design: tage-l, b2, tourney (ignored with -topology)")
+		topology = flag.String("topology", "", "explicit topology string, e.g. \"GTAG3 > BTB2 > BIM2\"")
+		ghist    = flag.Uint("ghist", 64, "global history bits (with -topology)")
+		workload = flag.String("workload", "dhrystone", "workload name (SPECint proxy, dhrystone, coremark)")
+		insts    = flag.Uint64("insts", 1_000_000, "architectural instructions to simulate")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		policy   = flag.String("policy", "repair", "GHR policy: repair, replay, none (§VI-B)")
+		serial   = flag.Bool("serialized", false, "serialize fetch behind branches (§II-A)")
+		sfb      = flag.Bool("sfb", false, "enable short-forwards-branch predication (§VI-C)")
+		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker; violations fail the run")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none)")
+		verbose  = flag.Bool("v", false, "print extended counters")
+	)
+	flag.Parse()
+
+	d, err := pickDesign(*design, *topology, *ghist, *policy)
+	if err != nil {
+		return err
+	}
+	core := cobra.DefaultCoreConfig()
+	core.SerializedFetch = *serial
+	core.SFB = *sfb
+
+	res, err := cobra.Run(cobra.RunConfig{
+		Design: d, Workload: *workload, MaxInsts: *insts, Seed: *seed, Core: &core,
+		Paranoid: *paranoid, Timeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design=%s topology=%q workload=%s\n", d.Name, d.Topology, *workload)
+	fmt.Println(res)
+	if *verbose {
+		printVerbose(res)
+		printProviders(res)
+	}
+	return nil
+}
 
 // printProviders reports which sub-component supplied the final direction
 // for committed branches (the provider hierarchy of §IV-A in action).
@@ -34,43 +83,6 @@ func printProviders(res *cobra.Result) {
 		t.AddRow(k, fmt.Sprintf("%d", n), fmt.Sprintf("%.1f%%", float64(n)/float64(total)*100))
 	}
 	fmt.Print(t)
-}
-
-func main() {
-	var (
-		design   = flag.String("design", "tage-l", "paper design: tage-l, b2, tourney (ignored with -topology)")
-		topology = flag.String("topology", "", "explicit topology string, e.g. \"GTAG3 > BTB2 > BIM2\"")
-		ghist    = flag.Uint("ghist", 64, "global history bits (with -topology)")
-		workload = flag.String("workload", "dhrystone", "workload name (SPECint proxy, dhrystone, coremark)")
-		insts    = flag.Uint64("insts", 1_000_000, "architectural instructions to simulate")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		policy   = flag.String("policy", "repair", "GHR policy: repair, replay, none (§VI-B)")
-		serial   = flag.Bool("serialized", false, "serialize fetch behind branches (§II-A)")
-		sfb      = flag.Bool("sfb", false, "enable short-forwards-branch predication (§VI-C)")
-		verbose  = flag.Bool("v", false, "print extended counters")
-	)
-	flag.Parse()
-
-	d, err := pickDesign(*design, *topology, *ghist, *policy)
-	if err != nil {
-		fatal(err)
-	}
-	core := cobra.DefaultCoreConfig()
-	core.SerializedFetch = *serial
-	core.SFB = *sfb
-
-	res, err := cobra.Run(cobra.RunConfig{
-		Design: d, Workload: *workload, MaxInsts: *insts, Seed: *seed, Core: &core,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("design=%s topology=%q workload=%s\n", d.Name, d.Topology, *workload)
-	fmt.Println(res)
-	if *verbose {
-		printVerbose(res)
-		printProviders(res)
-	}
 }
 
 func pickDesign(name, topology string, ghist uint, policy string) (cobra.Design, error) {
@@ -122,9 +134,4 @@ func printVerbose(res *cobra.Result) {
 	t.AddRowf("history repairs", res.HistoryRepairs)
 	t.AddRowf("fetch replays", res.FetchReplays)
 	fmt.Print(t)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cobra-sim:", err)
-	os.Exit(1)
 }

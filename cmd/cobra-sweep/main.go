@@ -10,14 +10,18 @@
 //	    -topologies "BIM2;GTAG3 > BTB2 > BIM2;LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"
 //	cobra-sweep -designs -workloads all -insts 500000 -host inorder
 //	cobra-sweep -tagesizes 512,1024,2048,4096 -workloads gcc -j 8
+//	cobra-sweep -designs -workloads all -keep-going -timeout 2m
 //
 // The (design × workload) grid fans out across -j worker goroutines
 // (default GOMAXPROCS); rows are emitted in grid order and are bit-identical
-// for every -j.
+// for every -j.  With -keep-going, a failing cell (panic, timeout, bad
+// config) is reported on stderr while every healthy cell still emits its
+// row; without it the first failure aborts the sweep.
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		topologies = flag.String("topologies", "", "semicolon-separated topology strings")
 		designsF   = flag.Bool("designs", false, "sweep the three Table I designs")
@@ -41,6 +52,9 @@ func main() {
 		ghist      = flag.Uint("ghist", 64, "global history bits for -topologies points")
 		host       = flag.String("host", "boom", "host core: boom (Table II) or inorder (scalar)")
 		jobsN      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
+		paranoid   = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every point")
+		timeout    = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
+		keepGoing  = flag.Bool("keep-going", false, "report failed cells on stderr and keep sweeping instead of aborting")
 	)
 	flag.Parse()
 
@@ -52,7 +66,7 @@ func main() {
 		for _, s := range strings.Split(*tageSizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n <= 0 {
-				fatal(fmt.Errorf("bad -tagesizes entry %q", s))
+				return fmt.Errorf("bad -tagesizes entry %q", s)
 			}
 			points = append(points, cobra.Design{
 				Name:     fmt.Sprintf("tage-l-%d", n),
@@ -83,7 +97,7 @@ func main() {
 	if *host == "inorder" {
 		core = cobra.InOrderCoreConfig()
 	} else if *host != "boom" {
-		fatal(fmt.Errorf("unknown -host %q", *host))
+		return fmt.Errorf("unknown -host %q", *host)
 	}
 
 	w := csv.NewWriter(os.Stdout)
@@ -98,17 +112,27 @@ func main() {
 		kb   float64
 		arKU float64
 	}
+	// A design that fails here (bad topology, bad geometry) aborts the sweep
+	// unless -keep-going, which reports it once on stderr and drops its row
+	// of cells while the rest of the grid still runs.
 	statics := make([]static, len(points))
+	okDesign := make([]bool, len(points))
+	skippedCells := 0
 	for i, d := range points {
 		kb, err := d.StorageKB()
-		if err != nil {
-			fatal(err)
+		if err == nil {
+			var bd cobra.Breakdown
+			if bd, err = cobra.PredictorArea(d); err == nil {
+				statics[i] = static{kb, bd.Total() / 1000}
+				okDesign[i] = true
+				continue
+			}
 		}
-		bd, err := cobra.PredictorArea(d)
-		if err != nil {
-			fatal(err)
+		if !*keepGoing {
+			return err
 		}
-		statics[i] = static{kb, bd.Total() / 1000}
+		fmt.Fprintln(os.Stderr, "cobra-sweep:", err)
+		skippedCells += len(ws)
 	}
 
 	type point struct {
@@ -118,21 +142,53 @@ func main() {
 	var grid []point
 	var jobs []runner.Sim
 	for di, d := range points {
+		if !okDesign[di] {
+			continue
+		}
+		opt := d.Opt
+		opt.Paranoid = opt.Paranoid || *paranoid
 		for _, wl := range ws {
 			grid = append(grid, point{di, strings.TrimSpace(wl)})
 			jobs = append(jobs, runner.Sim{
-				Topology: d.Topology, Opt: d.Opt,
+				Topology: d.Topology, Opt: opt,
 				Workload: strings.TrimSpace(wl),
 				Core:     core, Insts: *insts,
 			})
 		}
 	}
-	full, err := runner.RunFull(jobs, runner.Options{Workers: *jobsN, Seed: *seed})
-	if err != nil {
-		fatal(err)
+	policy := runner.FailFast
+	if *keepGoing {
+		policy = runner.CollectAll
+	}
+	full, err := runner.RunFull(jobs, runner.Options{
+		Workers: *jobsN, Seed: *seed, Policy: policy, Timeout: *timeout,
+	})
+	var batch *runner.BatchError
+	if err != nil && !(errors.As(err, &batch) && *keepGoing) {
+		return err
+	}
+	failed := map[int]bool{}
+	if batch != nil {
+		for _, je := range batch.Errs {
+			failed[je.Index] = true
+			fmt.Fprintln(os.Stderr, "cobra-sweep:", je)
+		}
 	}
 	for i, r := range full {
+		if failed[i] {
+			continue
+		}
 		d, res := points[grid[i].design], r.Sim
+		if n := r.Pipeline.ViolationCount(); n > 0 {
+			msg := fmt.Sprintf("%d invariant violations (%q on %s); first: %v",
+				n, d.Topology, grid[i].workload, r.Pipeline.Violations()[0])
+			if !*keepGoing {
+				return errors.New(msg)
+			}
+			fmt.Fprintln(os.Stderr, "cobra-sweep:", msg)
+			failed[i] = true
+			continue
+		}
 		energy := area.Energy(r.Pipeline)
 		w.Write([]string{
 			d.Name, d.Topology, grid[i].workload, *host,
@@ -146,9 +202,10 @@ func main() {
 			fmt.Sprintf("%.0f", energy.PerKiloInst(res.Instructions)),
 		})
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cobra-sweep:", err)
-	os.Exit(1)
+	if n := len(failed) + skippedCells; n > 0 {
+		w.Flush()
+		return fmt.Errorf("%d of %d points failed (successful rows emitted above)",
+			n, len(jobs)+skippedCells)
+	}
+	return nil
 }

@@ -19,6 +19,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cobra-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		capture  = flag.Bool("capture", false, "capture a branch trace")
 		sim      = flag.Bool("sim", false, "run the trace-driven evaluator")
@@ -36,14 +43,14 @@ func main() {
 		if *outPath != "" {
 			f, err := os.Create(*outPath)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			defer f.Close()
 			out = f
 		}
 		n, err := cobra.CaptureTrace(out, *workload, *seed, *insts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "cobra-trace: captured %d control-flow records from %s\n", n, *workload)
 	case *sim:
@@ -51,7 +58,7 @@ func main() {
 		if *inPath != "" {
 			f, err := os.Open(*inPath)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			defer f.Close()
 			in = f
@@ -65,21 +72,16 @@ func main() {
 		case "tourney":
 			d = cobra.Tourney()
 		default:
-			fatal(fmt.Errorf("unknown design %q", *design))
+			return fmt.Errorf("unknown design %q", *design)
 		}
 		res, err := cobra.TraceSim(d, in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("design=%s cfis=%d branches=%d mispredicts=%d accuracy=%.2f%% (idealized trace conditions)\n",
 			d.Name, res.CFIs, res.Branches, res.Mispredicts, res.Accuracy()*100)
 	default:
-		fmt.Fprintln(os.Stderr, "cobra-trace: need -capture or -sim")
-		os.Exit(2)
+		return fmt.Errorf("need -capture or -sim")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cobra-trace:", err)
-	os.Exit(1)
+	return nil
 }

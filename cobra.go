@@ -1,12 +1,15 @@
 package cobra
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"cobra/internal/area"
 	"cobra/internal/commercial"
 	"cobra/internal/compose"
+	"cobra/internal/faults"
 	"cobra/internal/isa"
 	"cobra/internal/pred"
 	"cobra/internal/program"
@@ -42,7 +45,32 @@ type (
 	TraceResult = trace.SimResult
 	// CommercialSystem is a Table III commercial-core proxy.
 	CommercialSystem = commercial.System
+	// InvariantError is a paranoid-mode invariant violation report.
+	InvariantError = compose.InvariantError
+	// FaultPlan describes a deterministic fault-injection campaign; wire it
+	// into a pipeline via PipelineOptions.Wrap (see internal/faults).
+	FaultPlan = faults.Plan
+	// FaultKind is a bitmask of injectable fault classes.
+	FaultKind = faults.Kind
+	// FaultRecord describes one injected fault.
+	FaultRecord = faults.Record
 )
+
+// Injectable fault classes (see internal/faults for semantics).
+const (
+	FaultCorruptMeta   = faults.CorruptMeta
+	FaultDropUpdate    = faults.DropUpdate
+	FaultDupUpdate     = faults.DupUpdate
+	FaultDelayFire     = faults.DelayFire
+	FaultDelayRepair   = faults.DelayRepair
+	FaultFlipDirection = faults.FlipDirection
+	FaultFlipTarget    = faults.FlipTarget
+	AllFaultKinds      = faults.AllKinds
+)
+
+// ParseFaultKinds parses a comma/pipe-separated fault-kind list ("all",
+// "corrupt-meta,drop-update") into a FaultKind mask.
+func ParseFaultKinds(s string) (FaultKind, error) { return faults.ParseKinds(s) }
 
 // GHR repair policies (§VI-B).
 const (
@@ -160,6 +188,12 @@ type RunConfig struct {
 	Seed     uint64
 	// Core overrides the Table II core when non-nil.
 	Core *CoreConfig
+	// Paranoid arms the pipeline invariant checker; any recorded violation
+	// makes Run return an error (the checker itself never alters results).
+	Paranoid bool
+	// Timeout, when > 0, aborts the simulation cooperatively once the
+	// wall-clock budget is spent, and Run returns the context error.
+	Timeout time.Duration
 }
 
 // Run composes the design, attaches it to the core, runs the workload for
@@ -171,6 +205,7 @@ func Run(rc RunConfig) (*Result, error) {
 	if rc.Seed == 0 {
 		rc.Seed = 42
 	}
+	rc.Design.Opt.Paranoid = rc.Design.Opt.Paranoid || rc.Paranoid
 	bp, err := rc.Design.Build()
 	if err != nil {
 		return nil, fmt.Errorf("cobra: composing %s: %w", rc.Design.Name, err)
@@ -184,7 +219,22 @@ func Run(rc RunConfig) (*Result, error) {
 		cfg = *rc.Core
 	}
 	core := uarch.NewCore(cfg, bp, prog, rc.Seed)
-	return core.Run(rc.MaxInsts), nil
+	var ctx context.Context
+	if rc.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), rc.Timeout)
+		defer cancel()
+		core.SetContext(ctx)
+	}
+	res := core.Run(rc.MaxInsts)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("cobra: %s on %s: %w (after %d committed instructions)",
+			rc.Design.Name, rc.Workload, ctx.Err(), res.Instructions)
+	}
+	if n := bp.ViolationCount(); n > 0 {
+		return nil, fmt.Errorf("cobra: %d invariant violations; first: %w", n, bp.Violations()[0])
+	}
+	return res, nil
 }
 
 // NewCore assembles a core around an already-composed pipeline and program

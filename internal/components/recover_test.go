@@ -1,0 +1,44 @@
+package components
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/history"
+	"cobra/internal/pred"
+)
+
+// TestBuildRecoversConstructorPanics: parameter validation deep inside a
+// component panics; Build must surface it as an error naming the node and its
+// parameters, never crash the process (and compose.New inherits the same
+// guarantee).
+func TestBuildRecoversConstructorPanics(t *testing.T) {
+	env := Env{Cfg: pred.DefaultConfig(), Global: history.NewGlobal(64)}
+	cases := []struct {
+		node string
+		want string // fragment of the original panic message
+	}{
+		{"BIM2(1000)", "power of two"},   // HBIM entries
+		{"BTB2(1000)", "power of two"},   // 1000/4 ways -> 250 sets
+		{"TOURNEY3(99)", "power of two"}, // tournament counters
+		{"LOOP3(100)", "power of two"},   // loop predictor entries
+		{"PERC3(77)", "power of two"},    // perceptron rows
+	}
+	for _, tc := range cases {
+		c, err := Build(env, tc.node)
+		if err == nil {
+			t.Errorf("%s: bad geometry built successfully (%v)", tc.node, c)
+			continue
+		}
+		if c != nil {
+			t.Errorf("%s: error return carries a non-nil component", tc.node)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, tc.node) {
+			t.Errorf("%s: error %q does not name the node", tc.node, msg)
+		}
+		if !strings.Contains(msg, tc.want) {
+			t.Errorf("%s: error %q lost the panic message %q", tc.node, msg, tc.want)
+		}
+	}
+}

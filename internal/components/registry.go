@@ -56,7 +56,11 @@ func Registered() []string {
 
 // Build constructs a component from a topology node name of the form
 // BASE[latency][(size)], e.g. "UBTB1", "BIM2", "TAGE3", "LOOP3(256)".
-func Build(env Env, nodeName string) (pred.Subcomponent, error) {
+// Constructor panics (parameter validation deep inside a component, e.g. a
+// non-power-of-two geometry) are recovered and surfaced as errors naming the
+// offending component, with the panic message as the error text — a bad
+// config makes compose.New fail, never crashes the process.
+func Build(env Env, nodeName string) (c pred.Subcomponent, err error) {
 	base, latency, size, err := ParseNodeName(nodeName)
 	if err != nil {
 		return nil, err
@@ -68,6 +72,12 @@ func Build(env Env, nodeName string) (pred.Subcomponent, error) {
 		return nil, fmt.Errorf("components: unknown component %q (registered: %s)",
 			base, strings.Join(Registered(), ", "))
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("components: constructing %s (latency=%d size=%d): %v",
+				nodeName, latency, size, r)
+		}
+	}()
 	return f(env, nodeName, latency, size)
 }
 

@@ -43,6 +43,7 @@ type Entry struct {
 	shifts     []bool // speculative global-history bits this entry inserted
 	lhistSaves []lhistSave
 	metaBuf    []uint64 // backing arena for metas (reused across allocations)
+	metaSums   []uint64 // paranoid mode: per-node metadata checksums at predict
 }
 
 type lhistSave struct {
@@ -87,9 +88,10 @@ func (hf *historyFile) alloc() *Entry {
 	for i := range slots {
 		slots[i] = pred.SlotInfo{}
 	}
-	metaBuf, metas, shifts, saves := e.metaBuf, e.metas, e.shifts, e.lhistSaves
+	metaBuf, metas, shifts, saves, sums := e.metaBuf, e.metas, e.shifts, e.lhistSaves, e.metaSums
 	*e = Entry{idx: idx, seq: hf.seq, valid: true, Slots: slots, CfiIdx: -1,
-		metaBuf: metaBuf, metas: metas, shifts: shifts[:0], lhistSaves: saves[:0]}
+		metaBuf: metaBuf, metas: metas, shifts: shifts[:0], lhistSaves: saves[:0],
+		metaSums: sums[:0]}
 	return e
 }
 

@@ -1,0 +1,203 @@
+package compose
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cobra/internal/pred"
+)
+
+func TestInvariantErrorFormat(t *testing.T) {
+	e := &InvariantError{Op: "Resolve", Component: "TAGE3", Cycle: 42, EntrySeq: 7,
+		Detail: "metadata blob corrupted since predict"}
+	s := e.Error()
+	for _, want := range []string{"Resolve", "TAGE3", "cycle 42", "entry#7", "metadata"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("InvariantError %q missing %q", s, want)
+		}
+	}
+	// Pipeline-level violations omit the component and entry qualifiers.
+	s = (&InvariantError{Op: "Commit", Cycle: 9, Detail: "d"}).Error()
+	if strings.Contains(s, "component") || strings.Contains(s, "entry#") {
+		t.Errorf("pipeline-level violation carries stale qualifiers: %q", s)
+	}
+}
+
+// acceptBranch accepts e with a single taken/not-taken branch in slot 0.
+func acceptBranch(p *Pipeline, cycle uint64, e *Entry, final pred.Packet, taken bool) {
+	slots := make([]pred.SlotInfo, p.Cfg.FetchWidth)
+	slots[0] = pred.SlotInfo{Valid: true, IsBranch: true, Taken: taken, PC: e.PC,
+		PredTaken: taken}
+	next := p.Cfg.PacketBase(e.PC) + uint64(p.Cfg.PktBytes())
+	cfi := -1
+	if taken {
+		cfi, next = 0, 0x8000
+	}
+	p.Accept(cycle, e, final, slots, cfi, next)
+}
+
+// TestParanoidDetectsTamperedMetadata corrupts a live entry's metadata blob
+// behind the pipeline's back; the next operation's check must attribute the
+// round-trip violation to the owning component.
+func TestParanoidDetectsTamperedMetadata(t *testing.T) {
+	p, err := New(pred.DefaultConfig(), MustParse("GTAG3 > BTB2 > BIM2"),
+		Options{GHistBits: 16, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(0)
+	e, stages := p.Predict(0, 0x1000)
+	if e == nil {
+		t.Fatal("unexpected stall")
+	}
+	acceptBranch(p, 0, e, stages[len(stages)-1], true)
+	if p.ViolationCount() != 0 {
+		t.Fatalf("healthy pipeline already has violations: %v", p.Violations()[0])
+	}
+	tampered := ""
+	for ni, n := range p.nodes {
+		if n.comp.MetaWords() > 0 {
+			e.metas[ni][0] ^= 1
+			tampered = n.name
+			break
+		}
+	}
+	if tampered == "" {
+		t.Fatal("no component with metadata in topology")
+	}
+	p.Tick(1)
+	if e2, st2 := p.Predict(1, 0x1040); e2 != nil {
+		acceptBranch(p, 1, e2, st2[len(st2)-1], false)
+	}
+	if p.ViolationCount() == 0 {
+		t.Fatal("tampered metadata not detected")
+	}
+	v := p.Violations()[0]
+	if v.Component != tampered {
+		t.Errorf("violation attributed to %q, want %q", v.Component, tampered)
+	}
+	if v.EntrySeq == 0 || !strings.Contains(v.Detail, "metadata") {
+		t.Errorf("unexpected violation shape: %v", v)
+	}
+}
+
+// TestParanoidDetectsTamperedHistoryChain flips a recorded speculative
+// history bit; the snapshot/shift chain check must fire.
+func TestParanoidDetectsTamperedHistoryChain(t *testing.T) {
+	p, err := New(pred.DefaultConfig(), MustParse("GTAG3 > BTB2 > BIM2"),
+		Options{GHistBits: 16, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tick(0)
+	e, stages := p.Predict(0, 0x1000)
+	if e == nil {
+		t.Fatal("unexpected stall")
+	}
+	acceptBranch(p, 0, e, stages[len(stages)-1], true)
+	if len(e.shifts) == 0 {
+		t.Fatal("accepted branch recorded no speculative history bits")
+	}
+	e.shifts[0] = !e.shifts[0]
+	p.Tick(1)
+	if e2, st2 := p.Predict(1, 0x1040); e2 != nil {
+		acceptBranch(p, 1, e2, st2[len(st2)-1], false)
+	}
+	if p.ViolationCount() == 0 {
+		t.Fatal("tampered speculative history bits not detected")
+	}
+	if v := p.Violations()[0]; !strings.Contains(v.Detail, "snapshot/shift chain") {
+		t.Errorf("unexpected violation: %v", v)
+	}
+}
+
+// TestParanoidCleanOnRandomStreams drives random topologies with random
+// traffic under every GHR policy with the checker armed: a healthy pipeline
+// must never violate, and the checker must be observation-only (identical
+// InFlight trajectory with and without it).
+func TestParanoidCleanOnRandomStreams(t *testing.T) {
+	for _, pol := range []GHRPolicy{GHRRepair, GHRRepairReplay, GHRNoRepair} {
+		rng := rand.New(rand.NewSource(77))
+		for trial := 0; trial < 6; trial++ {
+			src := randomTopology(rng)
+			p, err := New(pred.DefaultConfig(), MustParse(src),
+				Options{GHistBits: 64, HFEntries: 8, GHRPolicy: pol, Paranoid: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var live []*Entry
+			for q := 0; q < 400; q++ {
+				p.Tick(uint64(q))
+				if e, stages := p.Predict(uint64(q), uint64(0x1000+rng.Intn(32)*16)); e != nil {
+					acceptBranch(p, uint64(q), e, stages[len(stages)-1], rng.Intn(2) == 0)
+					live = append(live, e)
+				}
+				switch rng.Intn(4) {
+				case 0:
+					if len(live) > 0 {
+						if e := live[rng.Intn(len(live))]; e.Valid() {
+							p.Resolve(uint64(q), e, 0, rng.Intn(2) == 0, 0x9000)
+						}
+					}
+				case 1:
+					if old := p.Oldest(); old != nil {
+						p.Commit(uint64(q), old)
+					}
+				case 2:
+					if rng.Intn(8) == 0 {
+						p.SquashAll(uint64(q))
+					}
+				}
+				nl := live[:0]
+				for _, e := range live {
+					if e.Valid() {
+						nl = append(nl, e)
+					}
+				}
+				live = nl
+			}
+			if n := p.ViolationCount(); n != 0 {
+				t.Fatalf("%s %q: %d violations on healthy traffic; first: %v",
+					pol, src, n, p.Violations()[0])
+			}
+		}
+	}
+}
+
+// TestParanoidResetClearsViolations: Reset returns the pipeline to power-on,
+// including the violation log.
+func TestParanoidResetClearsViolations(t *testing.T) {
+	p, err := New(pred.DefaultConfig(), MustParse("BIM2"),
+		Options{GHistBits: 16, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.reportViolation("Test", "BIM2", 1, 1, "synthetic")
+	if p.ViolationCount() != 1 || len(p.Violations()) != 1 {
+		t.Fatal("synthetic violation not recorded")
+	}
+	p.Reset()
+	if p.ViolationCount() != 0 || len(p.Violations()) != 0 {
+		t.Fatal("Reset did not clear the violation log")
+	}
+}
+
+// TestViolationRetentionCap: the retained list is bounded while the total
+// count keeps incrementing.
+func TestViolationRetentionCap(t *testing.T) {
+	p, err := New(pred.DefaultConfig(), MustParse("BIM2"),
+		Options{GHistBits: 16, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxViolations+50; i++ {
+		p.reportViolation("Test", "", uint64(i), 0, "synthetic %d", i)
+	}
+	if len(p.Violations()) != maxViolations {
+		t.Fatalf("retained %d violations, want cap %d", len(p.Violations()), maxViolations)
+	}
+	if p.ViolationCount() != maxViolations+50 {
+		t.Fatalf("total count %d, want %d", p.ViolationCount(), maxViolations+50)
+	}
+}

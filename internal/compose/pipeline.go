@@ -2,6 +2,7 @@ package compose
 
 import (
 	"fmt"
+	"os"
 
 	"cobra/internal/components"
 	"cobra/internal/history"
@@ -50,6 +51,20 @@ type Options struct {
 	PathBits      uint // path history length (default 16)
 	HFEntries     int  // history file capacity (default 32)
 	GHRPolicy     GHRPolicy
+
+	// Paranoid enables the invariant checker: after every pipeline operation
+	// the history file, history providers, and metadata round-trips are
+	// validated, and violations are recorded as structured errors (see
+	// Violations).  Observation-only — predictions are unaffected.  Also
+	// forced on by the COBRA_PARANOID environment variable (any value except
+	// "" and "0"), so CI can sweep the whole test suite under checking.
+	Paranoid bool
+
+	// Wrap, when non-nil, decorates every instantiated sub-component before
+	// it is wired into the pipeline (after validation).  The hook is how the
+	// fault-injection layer (internal/faults) interposes on component signal
+	// traffic without the composer importing it.
+	Wrap func(pred.Subcomponent) pred.Subcomponent
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +82,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HFEntries == 0 {
 		o.HFEntries = 32
+	}
+	if v := os.Getenv("COBRA_PARANOID"); v != "" && v != "0" {
+		o.Paranoid = true
 	}
 	return o
 }
@@ -112,6 +130,11 @@ type Pipeline struct {
 	hf *historyFile
 	C  Counters
 
+	// paranoid-mode state (see paranoid.go).
+	paranoid   bool
+	violations []*InvariantError
+	vioTotal   uint64
+
 	// scratch buffers reused across Predict calls.
 	outs    [][]pred.Packet // per node, per stage: combined output packets
 	ovl     []pred.Packet   // per node: the raw overlay it returned this query
@@ -152,6 +175,15 @@ func New(cfg pred.Config, topo *Topology, opt Options) (*Pipeline, error) {
 		}
 		if err := pred.Validate(comp); err != nil {
 			return nil, err
+		}
+		if opt.Wrap != nil {
+			comp = opt.Wrap(comp)
+			if comp == nil {
+				return nil, fmt.Errorf("compose: Options.Wrap returned nil for %s", n.Name)
+			}
+			if err := pred.Validate(comp); err != nil {
+				return nil, fmt.Errorf("compose: wrapped %s: %w", n.Name, err)
+			}
 		}
 		if comp.NumInputs() >= 2 && len(n.Inputs) != comp.NumInputs() {
 			return nil, fmt.Errorf("compose: %s is an arbitration scheme needing %d inputs, topology provides %d",
@@ -196,6 +228,7 @@ func New(cfg pred.Config, topo *Topology, opt Options) (*Pipeline, error) {
 		p.metaOff[i] = p.metaTot
 		p.metaTot += n.comp.MetaWords()
 	}
+	p.paranoid = opt.Paranoid
 	return p, nil
 }
 
@@ -306,6 +339,15 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 	for d := 1; d <= p.depth; d++ {
 		stages[d-1] = p.outs[p.rootIdx][d-1].Clone()
 	}
+	if p.paranoid {
+		// Pin the §III-D round-trip contract: each component's blob must come
+		// back verbatim with every later event for this prediction.
+		e.metaSums = e.metaSums[:0]
+		for ni := range p.nodes {
+			e.metaSums = append(e.metaSums, metaSum(e.metas[ni]))
+		}
+		p.checkInvariants("Predict", cycle)
+	}
 	return e, stages
 }
 
@@ -337,6 +379,7 @@ func (p *Pipeline) Accept(cycle uint64, e *Entry, used pred.Packet, slots []pred
 	e.CfiIdx = cfiIdx
 	e.NextPC = nextPC
 	p.fire(cycle, e, true)
+	p.checkInvariants("Accept", cycle)
 }
 
 // fire performs the speculative updates for e's current view.  shiftGlobal
@@ -450,6 +493,7 @@ func (p *Pipeline) ReAccept(cycle uint64, e *Entry, used pred.Packet, slots []pr
 			}
 		})
 	}
+	p.checkInvariants("ReAccept", cycle)
 }
 
 // Resolve records the execution outcome of the branch in e's slot and, on a
@@ -474,6 +518,7 @@ func (p *Pipeline) Resolve(cycle uint64, e *Entry, slot int, taken bool, target 
 	misp := dirMisp || tgtMisp
 	s.Mispredicted = misp
 	if !misp {
+		p.checkInvariants("Resolve", cycle)
 		return Resolution{}
 	}
 	p.C.Mispredicts++
@@ -498,6 +543,7 @@ func (p *Pipeline) Resolve(cycle uint64, e *Entry, slot int, taken bool, target 
 		ev := p.event(cycle, e, ni)
 		n.comp.Mispredict(&ev)
 	}
+	p.checkInvariants("Resolve", cycle)
 	return Resolution{
 		Mispredict: true,
 		DirMisp:    dirMisp,
@@ -522,6 +568,7 @@ func (p *Pipeline) Commit(cycle uint64, e *Entry) {
 	}
 	p.hf.dequeue()
 	p.C.Commits++
+	p.checkInvariants("Commit", cycle)
 }
 
 // SquashAll drops every in-flight entry (pipeline flush, e.g. exception).
@@ -536,6 +583,7 @@ func (p *Pipeline) SquashAll(cycle uint64) {
 	p.PathH.Restore(oldest.prePath)
 	p.hf.popYoungest()
 	p.C.Squashed++
+	p.checkInvariants("SquashAll", cycle)
 }
 
 // Reset returns the pipeline and all components to power-on state.
@@ -550,6 +598,8 @@ func (p *Pipeline) Reset() {
 	}
 	p.hf = newHistoryFile(p.Opt.HFEntries, p.Cfg.FetchWidth)
 	p.C = Counters{}
+	p.violations = nil
+	p.vioTotal = 0
 }
 
 // ComponentBudgets returns each sub-component's storage, keyed by node name.

@@ -1,0 +1,145 @@
+package compose
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cobra/internal/pred"
+)
+
+// TestSquashedWrongPathIsInvisible is the repair property test: pipeline A
+// and pipeline B receive identical correct-path traffic, but A additionally
+// fetches wrong-path packets after mispredicted branches — exactly what a
+// speculative frontend does — which the misprediction resolution then
+// squashes.  Under the repairing GHR policies, every post-repair prediction
+// of A must be byte-identical to B's: squash + repair leaves no trace of the
+// wrong path in any component, history register, or management structure.
+// The paranoid checker rides along on both pipelines.
+func TestSquashedWrongPathIsInvisible(t *testing.T) {
+	designs := []struct {
+		name string
+		topo string
+		opt  Options
+	}{
+		{"b2", "GTAG3 > BTB2 > BIM2", Options{GHistBits: 16}},
+		{"tourney", "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+			Options{GHistBits: 32, LocalEntries: 256, LocalHistBits: 32}},
+		{"tage-l", "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", Options{GHistBits: 64}},
+	}
+	for _, d := range designs {
+		for _, pol := range []GHRPolicy{GHRRepair, GHRRepairReplay} {
+			t.Run(d.name+"/"+pol.String(), func(t *testing.T) {
+				optA := d.opt
+				optA.GHRPolicy = pol
+				optA.Paranoid = true
+				optB := optA
+				a, err := New(pred.DefaultConfig(), MustParse(d.topo), optA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := New(pred.DefaultConfig(), MustParse(d.topo), optB)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				rng := rand.New(rand.NewSource(31))
+				var cycle uint64
+				tick := func() {
+					cycle++
+					a.Tick(cycle)
+					b.Tick(cycle)
+				}
+				// predictBoth fetches the same packet on both pipelines and
+				// asserts the full per-stage prediction output is identical.
+				predictBoth := func(pc uint64) (*Entry, *Entry, pred.Packet) {
+					ea, sa := a.Predict(cycle, pc)
+					eb, sb := b.Predict(cycle, pc)
+					if (ea == nil) != (eb == nil) {
+						t.Fatalf("cycle %d: stall divergence (A=%v B=%v)", cycle, ea != nil, eb != nil)
+					}
+					if ea == nil {
+						return nil, nil, nil
+					}
+					if !reflect.DeepEqual(sa, sb) {
+						t.Fatalf("cycle %d pc %#x: predictions diverged after squash\nA: %+v\nB: %+v",
+							cycle, pc, sa, sb)
+					}
+					return ea, eb, sa[len(sa)-1]
+				}
+				accept := func(p *Pipeline, e *Entry, final pred.Packet, predTaken bool) {
+					slots := make([]pred.SlotInfo, p.Cfg.FetchWidth)
+					slots[0] = pred.SlotInfo{Valid: true, IsBranch: true,
+						Taken: predTaken, PredTaken: predTaken, PC: e.PC}
+					next := p.Cfg.PacketBase(e.PC) + uint64(p.Cfg.PktBytes())
+					cfi := -1
+					if predTaken {
+						cfi, next = 0, 0x8000
+					}
+					p.Accept(cycle, e, final, slots, cfi, next)
+				}
+				drain := func() {
+					for a.InFlight() > 0 {
+						a.Commit(cycle, a.Oldest())
+					}
+					for b.InFlight() > 0 {
+						b.Commit(cycle, b.Oldest())
+					}
+				}
+
+				for step := 0; step < 250; step++ {
+					tick()
+					pc := uint64(0x1000 + rng.Intn(48)*16)
+					ea, eb, final := predictBoth(pc)
+					if ea == nil {
+						continue
+					}
+					predTaken := final[0].DirValid && final[0].Taken
+					accept(a, ea, final, predTaken)
+					accept(b, eb, final, predTaken)
+
+					mispredict := rng.Intn(3) == 0
+					if mispredict {
+						// A alone fetches 1-2 wrong-path packets down the
+						// predicted (wrong) path; they shift history and fire
+						// speculative component state that the squash must undo.
+						for w, n := 0, 1+rng.Intn(2); w < n; w++ {
+							tick()
+							wpc := uint64(0x8000 + rng.Intn(16)*16)
+							if ew, sw := a.Predict(cycle, wpc); ew != nil {
+								wt := rng.Intn(2) == 0
+								slots := make([]pred.SlotInfo, a.Cfg.FetchWidth)
+								slots[0] = pred.SlotInfo{Valid: true, IsBranch: true,
+									Taken: wt, PredTaken: wt, PC: ew.PC}
+								next := a.Cfg.PacketBase(wpc) + uint64(a.Cfg.PktBytes())
+								cfi := -1
+								if wt {
+									cfi, next = 0, 0x9000
+								}
+								a.Accept(cycle, ew, sw[len(sw)-1], slots, cfi, next)
+							}
+						}
+					}
+					// Resolve the branch with the same actual outcome on both:
+					// a mispredict squashes A's wrong-path entries and repairs.
+					tick()
+					actual := predTaken != mispredict // flip direction to force the mispredict
+					target := uint64(0x8000)
+					a.Resolve(cycle, ea, 0, actual, target)
+					b.Resolve(cycle, eb, 0, actual, target)
+					tick()
+					drain()
+					if af, bf := a.InFlight(), b.InFlight(); af != 0 || bf != 0 {
+						t.Fatalf("cycle %d: pipelines not drained (A=%d B=%d)", cycle, af, bf)
+					}
+				}
+				for name, p := range map[string]*Pipeline{"A": a, "B": b} {
+					if n := p.ViolationCount(); n != 0 {
+						t.Fatalf("pipeline %s: %d invariant violations; first: %v",
+							name, n, p.Violations()[0])
+					}
+				}
+			})
+		}
+	}
+}

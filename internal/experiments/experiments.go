@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"cobra/internal/area"
 	"cobra/internal/commercial"
@@ -32,6 +33,15 @@ type Config struct {
 	// out on: 0 means GOMAXPROCS, 1 forces the serial path.  Results are
 	// bit-identical for every value (see internal/runner).
 	Parallelism int
+
+	// Paranoid arms the pipeline invariant checker on every simulated
+	// design; any violation fails the experiment loudly.  The checker is
+	// observation-only, so tables are byte-identical either way.
+	Paranoid bool
+
+	// Timeout, when > 0, bounds each simulation's wall-clock time via the
+	// runner's per-job context.
+	Timeout time.Duration
 }
 
 // Defaults fills zero fields.
@@ -76,6 +86,7 @@ func pipeline(d design) *compose.Pipeline {
 // trace capture it is compared against.  Every other experiment submits its
 // grid to the parallel runner via runAll.
 func run(d design, workload string, core uarch.Config, cfg Config) *stats.Sim {
+	d.opt.Paranoid = d.opt.Paranoid || cfg.Paranoid
 	bp := pipeline(d)
 	prog, err := workloads.Get(workload)
 	if err != nil {
@@ -86,25 +97,49 @@ func run(d design, workload string, core uarch.Config, cfg Config) *stats.Sim {
 		c.Run(cfg.Warmup)
 		c.ResetStats()
 	}
-	return c.Run(cfg.Insts)
+	s := c.Run(cfg.Insts)
+	checkParanoid(d.topo, workload, bp)
+	return s
+}
+
+// checkParanoid fails an experiment loudly on invariant violations (only
+// possible when paranoid mode is armed).
+func checkParanoid(topo, workload string, p *compose.Pipeline) {
+	if p == nil || p.ViolationCount() == 0 {
+		return
+	}
+	panic(fmt.Sprintf("experiments: %d invariant violations (%q on %s); first: %v",
+		p.ViolationCount(), topo, workload, p.Violations()[0]))
 }
 
 // job describes one grid point for the parallel runner.
 func (c Config) job(d design, workload string, core uarch.Config) runner.Sim {
+	opt := d.opt
+	opt.Paranoid = opt.Paranoid || c.Paranoid
 	return runner.Sim{
-		Topology: d.topo, Opt: d.opt, Workload: workload,
+		Topology: d.topo, Opt: opt, Workload: workload,
 		Core: core, Insts: c.Insts, Warmup: c.Warmup,
 	}
+}
+
+// runnerOptions builds the batch options an experiment grid runs under.
+func (c Config) runnerOptions() runner.Options {
+	return runner.Options{Workers: c.Parallelism, Seed: c.Seed, Timeout: c.Timeout}
 }
 
 // runAll fans an experiment's independent simulations out across
 // c.Parallelism workers; results come back in submission order.
 func (c Config) runAll(jobs []runner.Sim) []*stats.Sim {
-	res, err := runner.Run(jobs, runner.Options{Workers: c.Parallelism, Seed: c.Seed})
+	full, err := runner.RunFull(jobs, c.runnerOptions())
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
-	return res
+	out := make([]*stats.Sim, len(full))
+	for i, r := range full {
+		checkParanoid(jobs[i].Topology, jobs[i].Workload, r.Pipeline)
+		out[i] = r.Sim
+	}
+	return out
 }
 
 // ---- Table I ----
@@ -653,11 +688,12 @@ func Energy(cfg Config) *stats.Table {
 			jobs = append(jobs, cfg.job(d, w, uarch.DefaultConfig()))
 		}
 	}
-	full, err := runner.RunFull(jobs, runner.Options{Workers: cfg.Parallelism, Seed: cfg.Seed})
+	full, err := runner.RunFull(jobs, cfg.runnerOptions())
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
 	for i, r := range full {
+		checkParanoid(jobs[i].Topology, jobs[i].Workload, r.Pipeline)
 		rep := area.Energy(r.Pipeline)
 		top := ""
 		best := -1.0

@@ -49,3 +49,14 @@ func TestGoldenFig10(t *testing.T) {
 	_, table := Fig10(Config{Insts: 15_000, Seed: 42, Parallelism: 2})
 	golden(t, "fig10_small.txt", table.String())
 }
+
+// TestGoldenFig10Paranoid reruns the pinned Fig. 10 configuration with the
+// invariant checker armed and compares against the SAME golden file: paranoid
+// mode is observation-only, so the bytes must not move.
+func TestGoldenFig10Paranoid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50 simulations")
+	}
+	_, table := Fig10(Config{Insts: 15_000, Seed: 42, Parallelism: 2, Paranoid: true})
+	golden(t, "fig10_small.txt", table.String())
+}

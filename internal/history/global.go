@@ -126,6 +126,19 @@ func (g *Global) Restore(s Snapshot) {
 	g.Restores++
 }
 
+// CheckFolds verifies every attached folded register against a reference
+// fold recomputed from the live history words (the paranoid-mode sync
+// invariant).  It returns the index of the first desynced fold and false, or
+// (0, true) when all folds match.
+func (g *Global) CheckFolds() (int, bool) {
+	for i, f := range g.folds {
+		if f.Fold() != bitutil.FoldBits(g.hist, f.HistLen(), f.Width()) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
 // Reset clears the history and folds.
 func (g *Global) Reset() {
 	for i := range g.hist {

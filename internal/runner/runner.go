@@ -21,9 +21,13 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"cobra/internal/compose"
 	"cobra/internal/program"
@@ -104,6 +108,21 @@ type Sim struct {
 	Warmup uint64 // instructions discarded before measurement
 }
 
+// Policy selects how a batch reacts to job failures.
+type Policy int
+
+const (
+	// FailFast cancels the remaining jobs on the first failure and returns
+	// the root-cause error (the lowest-index failure that is not a
+	// cancellation cascade).  The default.
+	FailFast Policy = iota
+	// CollectAll lets every job run to completion (or failure), returning
+	// the successful results alongside a *BatchError describing every
+	// failed cell — one poisoned (design × workload) cell no longer kills
+	// the whole sweep.
+	CollectAll
+)
+
 // Options configures a batch run.
 type Options struct {
 	// Workers caps the worker goroutines: <= 0 means GOMAXPROCS, 1 forces
@@ -111,6 +130,61 @@ type Options struct {
 	Workers int
 	// Seed is the base seed; job i runs with Derive(Seed, i).
 	Seed uint64
+	// Policy selects fail-fast (default) or collect-all error handling.
+	Policy Policy
+	// Timeout, when > 0, bounds each job's wall-clock run time; an
+	// overrunning job aborts cooperatively with context.DeadlineExceeded.
+	Timeout time.Duration
+	// Ctx, when non-nil, cancels the whole batch when done (e.g. SIGINT).
+	Ctx context.Context
+}
+
+// JobError identifies which job of a batch failed and why.
+type JobError struct {
+	Index    int
+	Topology string
+	Workload string // "workload <name>" or "program <name>"
+	Err      error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("runner: job %d (%q on %s): %v", e.Index, e.Topology, e.Workload, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is a job panic converted to an error, preserving the panic
+// value and the goroutine stack at the point of the panic.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// BatchError aggregates every failed job of a CollectAll batch, ascending by
+// job index.
+type BatchError struct {
+	Total int // jobs submitted
+	Errs  []*JobError
+}
+
+func (e *BatchError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("runner: %d of %d jobs failed; first: %v", len(e.Errs), e.Total, e.Errs[0])
+}
+
+// Unwrap exposes the individual job errors to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Errs))
+	for i, je := range e.Errs {
+		out[i] = je
+	}
+	return out
 }
 
 // Result pairs one job's counters with the pipeline that produced them, for
@@ -120,8 +194,12 @@ type Result struct {
 	Pipeline *compose.Pipeline
 }
 
-// run executes one job with an already-derived seed.
-func (j Sim) run(seed uint64) (Result, error) {
+// run executes one job with an already-derived seed.  ctx cancellation is
+// cooperative: the core polls it and the job reports ctx.Err().
+func (j Sim) run(ctx context.Context, seed uint64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err // batch already cancelled; don't start
+	}
 	topo, err := compose.ParseTopology(j.Topology)
 	if err != nil {
 		return Result{}, err
@@ -142,49 +220,105 @@ func (j Sim) run(seed uint64) (Result, error) {
 		return Result{}, fmt.Errorf("pre-built program %s is single-use; pass it by workload name", prog.Name)
 	}
 	c := uarch.NewCore(j.Core, bp, prog, seed)
+	c.SetContext(ctx)
 	if j.Warmup > 0 {
 		c.Run(j.Warmup)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		c.ResetStats()
 	}
-	return Result{Sim: c.Run(j.Insts), Pipeline: bp}, nil
+	s := c.Run(j.Insts)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return Result{Sim: s, Pipeline: bp}, nil
+}
+
+// safeRun is run behind a recover boundary: a panicking job (component bug,
+// watchdog deadlock, poisoned workload) becomes a *PanicError carrying the
+// panic value and stack instead of killing the whole process.
+func (j Sim) safeRun(ctx context.Context, seed uint64) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.run(ctx, seed)
 }
 
 // RunFull executes jobs across workers and returns results in submission
-// order.  The first job error (lowest index) aborts the batch after all
-// in-flight jobs drain.
+// order.  Failures are reported per Options.Policy: FailFast cancels the
+// rest of the batch and returns (nil, *JobError) for the root cause;
+// CollectAll runs everything and returns the successful results alongside a
+// *BatchError (failed jobs leave zero Results at their index).
 func RunFull(jobs []Sim, opt Options) ([]Result, error) {
+	base := opt.Ctx
+	if base == nil {
+		base = context.Background()
+	}
+	batch, cancel := context.WithCancel(base)
+	defer cancel()
 	type slot struct {
 		res Result
 		err error
 	}
 	rs := Map(opt.Workers, len(jobs), func(i int) slot {
-		res, err := jobs[i].run(Derive(opt.Seed, uint64(i)))
-		if err != nil {
-			err = fmt.Errorf("runner: job %d (%q on %s): %w", i, jobs[i].Topology, jobs[i].describeWorkload(), err)
+		ctx := batch
+		stop := context.CancelFunc(func() {})
+		if opt.Timeout > 0 {
+			ctx, stop = context.WithTimeout(batch, opt.Timeout)
+		}
+		res, err := jobs[i].safeRun(ctx, Derive(opt.Seed, uint64(i)))
+		stop()
+		if err != nil && opt.Policy == FailFast {
+			cancel()
 		}
 		return slot{res, err}
 	})
 	out := make([]Result, len(jobs))
+	var errs []*JobError
 	for i, r := range rs {
 		if r.err != nil {
-			return nil, r.err
+			errs = append(errs, &JobError{
+				Index:    i,
+				Topology: jobs[i].Topology,
+				Workload: jobs[i].describeWorkload(),
+				Err:      r.err,
+			})
+			continue
 		}
 		out[i] = r.res
 	}
-	return out, nil
+	if len(errs) == 0 {
+		return out, nil
+	}
+	if opt.Policy == CollectAll {
+		return out, &BatchError{Total: len(jobs), Errs: errs}
+	}
+	// FailFast: return the root cause, not the cancellation cascade it
+	// triggered in later-draining jobs.
+	for _, e := range errs {
+		if !errors.Is(e.Err, context.Canceled) {
+			return nil, e
+		}
+	}
+	return nil, errs[0]
 }
 
-// Run is RunFull without the pipeline handles — the common case.
+// Run is RunFull without the pipeline handles — the common case.  Under
+// CollectAll with failures, the returned slice still carries the successful
+// sims (nil at failed indices) alongside the *BatchError.
 func Run(jobs []Sim, opt Options) ([]*stats.Sim, error) {
 	full, err := RunFull(jobs, opt)
-	if err != nil {
+	if full == nil {
 		return nil, err
 	}
 	out := make([]*stats.Sim, len(full))
 	for i, r := range full {
 		out[i] = r.Sim
 	}
-	return out, nil
+	return out, err
 }
 
 func (j Sim) describeWorkload() string {

@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"context"
 	"fmt"
 
 	"cobra/internal/components"
@@ -92,6 +93,8 @@ type Core struct {
 
 	lastCommitCycle uint64
 	histRepairBase  uint64
+
+	ctx context.Context // optional cooperative-cancellation handle
 }
 
 // NewCore wires a predictor pipeline to a program.
@@ -114,6 +117,12 @@ func NewCore(cfg Config, bp *compose.Pipeline, prog *program.Program, seed uint6
 		pending:   make(map[uint64]*pendingEntry),
 	}
 }
+
+// SetContext attaches a cancellation context: Run polls it periodically and
+// returns early (with whatever has been measured so far) once it is done.
+// The caller distinguishes a completed run from an aborted one by checking
+// ctx.Err().
+func (c *Core) SetContext(ctx context.Context) { c.ctx = ctx }
 
 // Pipeline exposes the attached predictor pipeline (for reports).
 func (c *Core) Pipeline() *compose.Pipeline { return c.bp }
@@ -492,6 +501,11 @@ func (c *Core) ResetStats() {
 func (c *Core) Run(maxInsts uint64) *stats.Sim {
 	c.lastCommitCycle = c.cycle
 	for c.S.Instructions < maxInsts {
+		// Poll the cancellation context every 256 cycles: goroutines cannot
+		// be killed, so a stuck or over-budget job exits cooperatively here.
+		if c.ctx != nil && c.cycle&0xFF == 0 && c.ctx.Err() != nil {
+			break
+		}
 		c.step()
 		if c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
 			panic(fmt.Sprintf("uarch: no commit for %d cycles at cycle %d (pc=%#x, rob=%d, fb=%d, inflight=%d)",

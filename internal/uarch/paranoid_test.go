@@ -1,0 +1,54 @@
+package uarch
+
+import (
+	"testing"
+
+	"cobra/internal/compose"
+	"cobra/internal/program"
+)
+
+// TestParanoidCleanOnRealRuns drives every Table I seed design through a
+// mispredict-heavy workload with the invariant checker armed: a healthy
+// pipeline must produce zero violations under every GHR policy.
+func TestParanoidCleanOnRealRuns(t *testing.T) {
+	b := program.NewBuilder("paranoid", 0x1000, 4, 5)
+	b.Loop(50, func() {
+		b.Ops(2, 0, 0, 0, nil)
+		b.Hammock(0.5, 2, program.ClassALU)
+	})
+	prog := b.MustSeal()
+
+	designs := []struct {
+		name string
+		topo string
+		opt  compose.Options
+	}{
+		{"b2", "GTAG3 > BTB2 > BIM2", compose.Options{GHistBits: 16}},
+		{"tourney", "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+			compose.Options{GHistBits: 32, LocalEntries: 256, LocalHistBits: 32}},
+		{"tage-l", "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", compose.Options{GHistBits: 64}},
+	}
+	policies := []compose.GHRPolicy{compose.GHRRepair, compose.GHRRepairReplay, compose.GHRNoRepair}
+
+	for _, d := range designs {
+		for _, pol := range policies {
+			t.Run(d.name+"/"+pol.String(), func(t *testing.T) {
+				opt := d.opt
+				opt.Paranoid = true
+				opt.GHRPolicy = pol
+				bp := mkPipeline(t, d.topo, opt)
+				core := NewCore(DefaultConfig(), bp, prog, 7)
+				s := core.Run(20000)
+				if s.Mispredicts == 0 {
+					t.Fatal("workload produced no mispredicts; repair paths untested")
+				}
+				if n := bp.ViolationCount(); n != 0 {
+					for _, v := range bp.Violations()[:min(3, len(bp.Violations()))] {
+						t.Errorf("violation: %v", v)
+					}
+					t.Fatalf("%d invariant violations on a healthy pipeline", n)
+				}
+			})
+		}
+	}
+}
