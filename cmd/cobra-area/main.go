@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cobra"
 )
@@ -26,10 +27,18 @@ func main() {
 
 func run() error {
 	var (
-		core   = flag.Bool("core", false, "whole-core breakdown (Fig. 9) instead of predictor-only (Fig. 8)")
-		design = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
+		core     = flag.Bool("core", false, "whole-core breakdown (Fig. 9) instead of predictor-only (Fig. 8)")
+		design   = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
+		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every composed design")
+		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
 	)
 	flag.Parse()
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "cobra-area: timeout after %v\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	designs := cobra.Designs()
 	if *design != "" {
@@ -44,6 +53,7 @@ func run() error {
 		}
 	}
 	for _, d := range designs {
+		d.Opt.Paranoid = d.Opt.Paranoid || *paranoid
 		var (
 			bd  cobra.Breakdown
 			err error

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cobra"
 )
@@ -26,12 +27,22 @@ func main() {
 	}
 }
 
+var paranoid *bool
+
 func run() error {
 	var (
-		fig  = flag.Int("fig", 7, "paper figure to render: 2, 4, or 7")
-		topo = flag.String("topology", "", "render a custom topology instead")
+		fig     = flag.Int("fig", 7, "paper figure to render: 2, 4, or 7")
+		topo    = flag.String("topology", "", "render a custom topology instead")
+		timeout = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
 	)
+	paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every composed topology")
 	flag.Parse()
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "cobra-diagram: timeout after %v\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	if *topo != "" {
 		return render(cobra.Design{Name: "custom", Topology: *topo})
@@ -63,6 +74,9 @@ func run() error {
 }
 
 func render(d cobra.Design) error {
+	if paranoid != nil && *paranoid {
+		d.Opt.Paranoid = true
+	}
 	s, err := cobra.PipelineDiagram(d)
 	if err != nil {
 		return err

@@ -9,11 +9,13 @@
 //	cobra-experiments -exp fig10 -paranoid -timeout 5m
 //
 // Experiment ids: table1 table2 table3 fig8 fig9 fig10 d1 d2 d3 d4
-// tracegap ablation-loop ablation-ubtb ablation-meta all
+// tracegap ablation-loop ablation-ubtb ablation-meta h2p all
 //
 // Each experiment's independent simulations fan out across -j worker
 // goroutines (default GOMAXPROCS); results are bit-identical for every -j,
-// with -j 1 forcing the serial path.
+// with -j 1 forcing the serial path.  Long runs can be watched live with
+// -progress (periodic stderr status), -metrics-addr (Prometheus text
+// endpoint), and -pprof-addr (net/http/pprof + runtime trace).
 package main
 
 import (
@@ -22,8 +24,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"cobra/internal/experiments"
+	"cobra/internal/obs"
 )
 
 func main() {
@@ -42,13 +46,22 @@ func run() error {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
 		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every simulated design")
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
+
+		progress  = flag.Duration("progress", 0, "print a runner status line to stderr at this period (0 = off)")
+		metrics   = flag.String("metrics-addr", "", "serve live Prometheus-style metrics on this address")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed,
 		Parallelism: *jobs, Paranoid: *paranoid, Timeout: *timeout}
+	if close, err := serveTelemetry(&cfg, *progress, *metrics, *pprofAddr); err != nil {
+		return err
+	} else if close != nil {
+		defer close()
+	}
 
 	all := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10",
-		"d1", "d2", "d3", "d4", "tracegap", "energy",
+		"d1", "d2", "d3", "d4", "tracegap", "energy", "h2p",
 		"shootout", "ablation-loop", "ablation-ubtb", "ablation-meta", "ablation-width"}
 	want := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -91,9 +104,50 @@ func run() error {
 			fmt.Println(experiments.AblationWidth(cfg))
 		case "shootout":
 			fmt.Println(experiments.Shootout(cfg))
+		case "h2p":
+			fmt.Println(experiments.H2P(cfg))
 		default:
 			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(all, " "))
 		}
 	}
 	return nil
+}
+
+// serveTelemetry wires the shared observability flags into an experiment
+// config: a metrics sink (created when -progress or -metrics-addr asks for
+// one), the Prometheus endpoint, and the pprof listener.  The returned closer
+// (possibly nil) releases the listeners.
+func serveTelemetry(cfg *experiments.Config, progress time.Duration, metricsAddr, pprofAddr string) (func(), error) {
+	var closers []func() error
+	if progress > 0 {
+		cfg.Progress = os.Stderr
+		cfg.ProgressEvery = progress
+	}
+	if metricsAddr != "" || progress > 0 {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	if metricsAddr != "" {
+		addr, close, err := obs.ServeMetrics(metricsAddr, cfg.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		closers = append(closers, close)
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+	}
+	if pprofAddr != "" {
+		addr, close, err := obs.ServePprof(pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("pprof listener: %w", err)
+		}
+		closers = append(closers, close)
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
+	}
+	if len(closers) == 0 {
+		return nil, nil
+	}
+	return func() {
+		for _, c := range closers {
+			c() //nolint:errcheck
+		}
+	}, nil
 }

@@ -7,12 +7,14 @@
 //	cobra-sim -topology "GTAG3 > BTB2 > BIM2" -ghist 16 -workload mcf
 //	cobra-sim -design tourney -workload dhrystone -policy replay -sfb
 //	cobra-sim -design tage-l -workload gcc -paranoid -timeout 60s
+//	cobra-sim -design tage-l -workload gcc -events trace.json -top-branches 10
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cobra"
 	"cobra/internal/stats"
@@ -39,6 +41,12 @@ func run() error {
 		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker; violations fail the run")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none)")
 		verbose  = flag.Bool("v", false, "print extended counters")
+
+		events    = flag.String("events", "", "capture the cycle-level event trace to this file (.json = Chrome trace_event for Perfetto, otherwise compact binary for cobra-events)")
+		eventsBuf = flag.Int("events-buf", 0, "event ring-buffer capacity (0 = default 65536; older events are dropped)")
+		topN      = flag.Int("top-branches", 0, "print the H2P table of the N hardest-to-predict branches")
+		metrics   = flag.String("metrics-addr", "", "serve live Prometheus-style metrics on this address (e.g. 127.0.0.1:9090)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
 	)
 	flag.Parse()
 
@@ -50,10 +58,46 @@ func run() error {
 	core.SerializedFetch = *serial
 	core.SFB = *sfb
 
-	res, err := cobra.Run(cobra.RunConfig{
+	if *pprofAddr != "" {
+		addr, closePprof, err := cobra.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer closePprof() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
+	}
+
+	rc := cobra.RunConfig{
 		Design: d, Workload: *workload, MaxInsts: *insts, Seed: *seed, Core: &core,
 		Paranoid: *paranoid, Timeout: *timeout,
-	})
+	}
+	var tracer *cobra.Tracer
+	if *events != "" {
+		tracer = cobra.NewTracer(*eventsBuf)
+		rc.Observer = tracer
+	}
+	var prof *cobra.BranchProfile
+	if *topN > 0 {
+		prof = cobra.NewBranchProfile()
+		rc.Profile = prof
+	}
+	if *metrics != "" {
+		m := cobra.NewMetrics()
+		rc.Metrics = m
+		m.AddJobs(1)
+		m.JobStarted()
+		addr, closeMetrics, err := cobra.ServeMetrics(*metrics, m)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer closeMetrics() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+	}
+
+	res, err := cobra.Run(rc)
+	if rc.Metrics != nil {
+		rc.Metrics.JobDone(err != nil)
+	}
 	if err != nil {
 		return err
 	}
@@ -63,6 +107,42 @@ func run() error {
 		printVerbose(res)
 		printProviders(res)
 	}
+	if prof != nil {
+		fmt.Print(prof.Table(*topN))
+	}
+	if tracer != nil {
+		if err := writeEvents(*events, tracer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEvents exports the tracer's ring to path: Chrome trace_event JSON for
+// .json files (load in chrome://tracing or ui.perfetto.dev), the compact
+// binary format otherwise (dump/filter with cobra-events).
+func writeEvents(path string, tr *cobra.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	evs := tr.Events()
+	if strings.HasSuffix(path, ".json") {
+		err = cobra.WriteChromeTrace(f, evs)
+	} else {
+		err = cobra.WriteBinaryEvents(f, evs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "events: ring overflowed; kept newest %d of %d (raise -events-buf)\n",
+			len(evs), tr.Total())
+	}
+	fmt.Fprintf(os.Stderr, "events: wrote %d records to %s\n", len(evs), path)
 	return nil
 }
 

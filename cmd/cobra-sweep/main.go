@@ -55,8 +55,33 @@ func run() error {
 		paranoid   = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every point")
 		timeout    = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 		keepGoing  = flag.Bool("keep-going", false, "report failed cells on stderr and keep sweeping instead of aborting")
+
+		progress  = flag.Duration("progress", 0, "print a runner status line to stderr at this period (0 = off)")
+		metricsF  = flag.String("metrics-addr", "", "serve live Prometheus-style metrics on this address")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
 	)
 	flag.Parse()
+
+	var met *cobra.Metrics
+	if *metricsF != "" || *progress > 0 {
+		met = cobra.NewMetrics()
+	}
+	if *metricsF != "" {
+		addr, closeMetrics, err := cobra.ServeMetrics(*metricsF, met)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer closeMetrics() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
+	}
+	if *pprofAddr != "" {
+		addr, closePprof, err := cobra.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer closePprof() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
+	}
 
 	var points []cobra.Design
 	switch {
@@ -160,9 +185,14 @@ func run() error {
 	if *keepGoing {
 		policy = runner.CollectAll
 	}
-	full, err := runner.RunFull(jobs, runner.Options{
-		Workers: *jobsN, Seed: *seed, Policy: policy, Timeout: *timeout,
-	})
+	ropt := runner.Options{
+		Workers: *jobsN, Seed: *seed, Policy: policy, Timeout: *timeout, Metrics: met,
+	}
+	if *progress > 0 {
+		ropt.Progress = os.Stderr
+		ropt.ProgressEvery = *progress
+	}
+	full, err := runner.RunFull(jobs, ropt)
 	var batch *runner.BatchError
 	if err != nil && !(errors.As(err, &batch) && *keepGoing) {
 		return err

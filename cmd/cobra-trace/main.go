@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cobra"
 )
@@ -35,8 +36,16 @@ func run() error {
 		design   = flag.String("design", "tage-l", "design for -sim: tage-l, b2, tourney")
 		outPath  = flag.String("o", "", "output trace file (default stdout)")
 		inPath   = flag.String("i", "", "input trace file (default stdin)")
+		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker during -sim; violations fail the run")
+		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
 	)
 	flag.Parse()
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "cobra-trace: timeout after %v\n", *timeout)
+			os.Exit(1)
+		})
+	}
 	switch {
 	case *capture:
 		out := os.Stdout
@@ -74,6 +83,7 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown design %q", *design)
 		}
+		d.Opt.Paranoid = d.Opt.Paranoid || *paranoid
 		res, err := cobra.TraceSim(d, in)
 		if err != nil {
 			return err

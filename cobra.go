@@ -11,6 +11,7 @@ import (
 	"cobra/internal/compose"
 	"cobra/internal/faults"
 	"cobra/internal/isa"
+	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/program"
 	"cobra/internal/stats"
@@ -54,6 +55,58 @@ type (
 	FaultKind = faults.Kind
 	// FaultRecord describes one injected fault.
 	FaultRecord = faults.Record
+	// Event is one observability record (predict/fire/mispredict/repair/
+	// update/redirect/squash); see internal/obs.
+	Event = obs.Event
+	// EventKind discriminates Event records.
+	EventKind = obs.Kind
+	// Observer receives Events; wire one in via PipelineOptions.Observer or
+	// RunConfig.Observer.
+	Observer = obs.Observer
+	// Tracer is the ring-buffered Observer behind -events.
+	Tracer = obs.Tracer
+	// BranchProfile accumulates per-PC misprediction attribution (H2P).
+	BranchProfile = obs.BranchProfile
+	// BranchStat is one PC's row in a BranchProfile.
+	BranchStat = obs.BranchStat
+	// Metrics is the live telemetry sink behind -metrics-addr.
+	Metrics = obs.Metrics
+)
+
+// Event kinds: the five §III-E interface events plus the frontend records.
+const (
+	EventPredict    = obs.KPredict
+	EventFire       = obs.KFire
+	EventMispredict = obs.KMispredict
+	EventRepair     = obs.KRepair
+	EventUpdate     = obs.KUpdate
+	EventRedirect   = obs.KRedirect
+	EventSquash     = obs.KSquash
+)
+
+// ParseEventKind parses an event-kind name ("predict", "fire", ...).
+func ParseEventKind(s string) (EventKind, bool) { return obs.ParseKind(s) }
+
+// Observability constructors and exporters, re-exported from internal/obs.
+var (
+	// NewTracer returns a ring-buffered event tracer (capacity 0 = default).
+	NewTracer = obs.NewTracer
+	// NewBranchProfile returns an empty per-PC misprediction profile.
+	NewBranchProfile = obs.NewBranchProfile
+	// NewMetrics returns a live telemetry sink.
+	NewMetrics = obs.NewMetrics
+	// WriteChromeTrace writes events as Chrome trace_event JSON
+	// (chrome://tracing / Perfetto).
+	WriteChromeTrace = obs.WriteChrome
+	// WriteBinaryEvents writes events in the compact binary format read by
+	// cobra-events and ReadBinaryEvents.
+	WriteBinaryEvents = obs.WriteBinary
+	// ReadBinaryEvents reads a compact binary event stream.
+	ReadBinaryEvents = obs.ReadBinary
+	// ServeMetrics exposes a Metrics sink at addr (Prometheus text format).
+	ServeMetrics = obs.ServeMetrics
+	// ServePprof exposes net/http/pprof (profiles + runtime trace) at addr.
+	ServePprof = obs.ServePprof
 )
 
 // Injectable fault classes (see internal/faults for semantics).
@@ -194,6 +247,15 @@ type RunConfig struct {
 	// Timeout, when > 0, aborts the simulation cooperatively once the
 	// wall-clock budget is spent, and Run returns the context error.
 	Timeout time.Duration
+	// Observer, when non-nil, receives the cycle-level event stream
+	// (predict/fire/mispredict/repair/update plus frontend redirects and
+	// squashes).  Nil costs a single pointer check per emit site.
+	Observer Observer
+	// Profile, when non-nil, accumulates per-PC misprediction attribution
+	// (the H2P report behind -top-branches).
+	Profile *BranchProfile
+	// Metrics, when non-nil, receives live cycle/instruction telemetry.
+	Metrics *Metrics
 }
 
 // Run composes the design, attaches it to the core, runs the workload for
@@ -206,6 +268,9 @@ func Run(rc RunConfig) (*Result, error) {
 		rc.Seed = 42
 	}
 	rc.Design.Opt.Paranoid = rc.Design.Opt.Paranoid || rc.Paranoid
+	if rc.Observer != nil {
+		rc.Design.Opt.Observer = rc.Observer
+	}
 	bp, err := rc.Design.Build()
 	if err != nil {
 		return nil, fmt.Errorf("cobra: composing %s: %w", rc.Design.Name, err)
@@ -219,6 +284,12 @@ func Run(rc RunConfig) (*Result, error) {
 		cfg = *rc.Core
 	}
 	core := uarch.NewCore(cfg, bp, prog, rc.Seed)
+	if rc.Profile != nil {
+		core.SetBranchProfile(rc.Profile)
+	}
+	if rc.Metrics != nil {
+		core.SetMetrics(rc.Metrics)
+	}
 	var ctx context.Context
 	if rc.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -293,7 +364,12 @@ func TraceSim(d Design, r io.Reader) (TraceResult, error) {
 	if err != nil {
 		return TraceResult{}, err
 	}
-	return trace.Simulate(p, tr)
+	res, err := trace.Simulate(p, tr)
+	if err == nil && p.ViolationCount() > 0 {
+		return res, fmt.Errorf("cobra: %d invariant violations; first: %w",
+			p.ViolationCount(), p.Violations()[0])
+	}
+	return res, err
 }
 
 // CommercialSystems returns the Skylake/Graviton proxies of Table III.

@@ -44,6 +44,7 @@ type Entry struct {
 	lhistSaves []lhistSave
 	metaBuf    []uint64 // backing arena for metas (reused across allocations)
 	metaSums   []uint64 // paranoid mode: per-node metadata checksums at predict
+	ops        []uint8  // opinion tracking: per node x slot direction opinions
 }
 
 type lhistSave struct {
@@ -88,10 +89,10 @@ func (hf *historyFile) alloc() *Entry {
 	for i := range slots {
 		slots[i] = pred.SlotInfo{}
 	}
-	metaBuf, metas, shifts, saves, sums := e.metaBuf, e.metas, e.shifts, e.lhistSaves, e.metaSums
+	metaBuf, metas, shifts, saves, sums, ops := e.metaBuf, e.metas, e.shifts, e.lhistSaves, e.metaSums, e.ops
 	*e = Entry{idx: idx, seq: hf.seq, valid: true, Slots: slots, CfiIdx: -1,
 		metaBuf: metaBuf, metas: metas, shifts: shifts[:0], lhistSaves: saves[:0],
-		metaSums: sums[:0]}
+		metaSums: sums[:0], ops: ops[:0]}
 	return e
 }
 

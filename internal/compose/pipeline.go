@@ -6,6 +6,7 @@ import (
 
 	"cobra/internal/components"
 	"cobra/internal/history"
+	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/sram"
 )
@@ -65,6 +66,15 @@ type Options struct {
 	// fault-injection layer (internal/faults) interposes on component signal
 	// traffic without the composer importing it.
 	Wrap func(pred.Subcomponent) pred.Subcomponent
+
+	// Observer, when non-nil, receives a typed obs.Event for every pipeline
+	// event: one record per sub-component for each predict, fire,
+	// mispredict, repair, and update signal, plus one per squashed
+	// history-file entry.  Mirrors Wrap: the sink is pluggable without the
+	// composer knowing what consumes the stream.  Nil costs a single
+	// pointer check per pipeline operation — the disabled path is the
+	// exact pre-observability instruction sequence.
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -134,6 +144,12 @@ type Pipeline struct {
 	paranoid   bool
 	violations []*InvariantError
 	vioTotal   uint64
+
+	// observability (see internal/obs): obsv mirrors Opt.Observer for the
+	// hot-path nil checks; trackOps records each node's raw direction
+	// opinion per slot into entries for per-provider H2P attribution.
+	obsv     obs.Observer
+	trackOps bool
 
 	// scratch buffers reused across Predict calls.
 	outs    [][]pred.Packet // per node, per stage: combined output packets
@@ -229,7 +245,43 @@ func New(cfg pred.Config, topo *Topology, opt Options) (*Pipeline, error) {
 		p.metaTot += n.comp.MetaWords()
 	}
 	p.paranoid = opt.Paranoid
+	p.obsv = opt.Observer
 	return p, nil
+}
+
+// Observer returns the attached event observer (nil when tracing is off);
+// the host core uses it to emit frontend redirect records onto the same
+// stream.
+func (p *Pipeline) Observer() obs.Observer { return p.obsv }
+
+// EnableOpinionTracking makes Predict record every node's own direction
+// opinion per slot into the history-file entry, enabling SlotOpinions.
+// Costs one byte copy per node per slot per prediction; off by default.
+func (p *Pipeline) EnableOpinionTracking() { p.trackOps = true }
+
+// SlotOpinions appends each sub-component's predict-time direction opinion
+// for one slot of e's packet to dst (reusing its backing array) and returns
+// it.  Empty unless EnableOpinionTracking was called before the prediction.
+func (p *Pipeline) SlotOpinions(e *Entry, slot int, dst []obs.Opinion) []obs.Opinion {
+	dst = dst[:0]
+	if len(e.ops) == 0 || slot < 0 || slot >= p.Cfg.FetchWidth {
+		return dst
+	}
+	for ni, n := range p.nodes {
+		b := e.ops[ni*p.Cfg.FetchWidth+slot]
+		dst = append(dst, obs.Opinion{Comp: n.name, DirValid: b&1 != 0, Taken: b&2 != 0})
+	}
+	return dst
+}
+
+// emit sends one typed record to the attached observer (caller checks
+// p.obsv != nil so the disabled path never builds the event).
+func (p *Pipeline) emit(kind obs.Kind, cycle uint64, e *Entry, comp string, slot, dur int, sum uint64) {
+	ev := obs.Event{
+		Cycle: cycle, PC: e.PC, Seq: e.seq, MetaSum: sum,
+		Kind: kind, Slot: int16(slot), Dur: uint16(dur), Comp: comp,
+	}
+	p.obsv.Event(&ev)
 }
 
 // Depth is the pipeline depth (slowest component's latency).
@@ -328,6 +380,9 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 				e.metas[ni] = dst
 				p.ovl[ni] = resp.Overlay
 				overlayInto(p.outs[ni][d-1], resp.Overlay, prim)
+				if p.obsv != nil {
+					p.emit(obs.KPredict, cycle, e, n.name, -1, n.lat, obs.MetaSum(dst))
+				}
 			default:
 				// d > lat: the component's own overlay stays pinned over the
 				// refined input (monotone refinement, §III-A).
@@ -338,6 +393,28 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 	stages := make([]pred.Packet, p.depth)
 	for d := 1; d <= p.depth; d++ {
 		stages[d-1] = p.outs[p.rootIdx][d-1].Clone()
+	}
+	if p.trackOps {
+		// Snapshot every node's raw overlay opinion per slot (the ovl
+		// buffers are reused next query) for per-provider H2P attribution.
+		need := len(p.nodes) * p.Cfg.FetchWidth
+		if cap(e.ops) < need {
+			e.ops = make([]uint8, need)
+		}
+		e.ops = e.ops[:need]
+		for ni := range p.nodes {
+			ovl := p.ovl[ni]
+			for s := 0; s < p.Cfg.FetchWidth; s++ {
+				var b uint8
+				if s < len(ovl) && ovl[s].DirValid {
+					b = 1
+					if ovl[s].Taken {
+						b |= 2
+					}
+				}
+				e.ops[ni*p.Cfg.FetchWidth+s] = b
+			}
+		}
 	}
 	if p.paranoid {
 		// Pin the §III-D round-trip contract: each component's blob must come
@@ -411,6 +488,9 @@ func (p *Pipeline) fire(cycle uint64, e *Entry, shiftGlobal bool) {
 	for ni, n := range p.nodes {
 		ev := p.event(cycle, e, ni)
 		n.comp.Fire(&ev)
+		if p.obsv != nil {
+			p.emit(obs.KFire, cycle, e, n.name, e.CfiIdx, 0, obs.MetaSum(e.metas[ni]))
+		}
 	}
 	e.fired = true
 }
@@ -426,6 +506,9 @@ func (p *Pipeline) unfire(cycle uint64, e *Entry) {
 	for ni, n := range p.nodes {
 		ev := p.event(cycle, e, ni)
 		n.comp.Repair(&ev)
+		if p.obsv != nil {
+			p.emit(obs.KRepair, cycle, e, n.name, e.CfiIdx, 0, obs.MetaSum(e.metas[ni]))
+		}
 	}
 	for i := len(e.lhistSaves) - 1; i >= 0; i-- {
 		sv := e.lhistSaves[i]
@@ -447,6 +530,9 @@ func (p *Pipeline) squashYounger(cycle uint64, e *Entry) {
 		p.unfire(cycle, y)
 		p.hf.popYoungest()
 		p.C.Squashed++
+		if p.obsv != nil {
+			p.emit(obs.KSquash, cycle, y, "", -1, 0, 0)
+		}
 	}
 }
 
@@ -542,6 +628,9 @@ func (p *Pipeline) Resolve(cycle uint64, e *Entry, slot int, taken bool, target 
 	for ni, n := range p.nodes {
 		ev := p.event(cycle, e, ni)
 		n.comp.Mispredict(&ev)
+		if p.obsv != nil {
+			p.emit(obs.KMispredict, cycle, e, n.name, slot, 0, obs.MetaSum(e.metas[ni]))
+		}
 	}
 	p.checkInvariants("Resolve", cycle)
 	return Resolution{
@@ -565,6 +654,9 @@ func (p *Pipeline) Commit(cycle uint64, e *Entry) {
 	for ni, n := range p.nodes {
 		ev := p.event(cycle, e, ni)
 		n.comp.Update(&ev)
+		if p.obsv != nil {
+			p.emit(obs.KUpdate, cycle, e, n.name, e.CfiIdx, 0, obs.MetaSum(e.metas[ni]))
+		}
 	}
 	p.hf.dequeue()
 	p.C.Commits++
@@ -583,6 +675,9 @@ func (p *Pipeline) SquashAll(cycle uint64) {
 	p.PathH.Restore(oldest.prePath)
 	p.hf.popYoungest()
 	p.C.Squashed++
+	if p.obsv != nil {
+		p.emit(obs.KSquash, cycle, oldest, "", -1, 0, 0)
+	}
 	p.checkInvariants("SquashAll", cycle)
 }
 

@@ -8,6 +8,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"cobra/internal/area"
 	"cobra/internal/commercial"
 	"cobra/internal/compose"
+	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/runner"
 	"cobra/internal/stats"
@@ -42,6 +44,15 @@ type Config struct {
 	// Timeout, when > 0, bounds each simulation's wall-clock time via the
 	// runner's per-job context.
 	Timeout time.Duration
+
+	// Metrics, when non-nil, receives live batch telemetry from every grid
+	// the experiments fan out (served by cobra-experiments -metrics-addr).
+	Metrics *obs.Metrics
+	// Progress, when non-nil, gets a periodic one-line status report while
+	// a grid runs (cobra-experiments -progress).
+	Progress io.Writer
+	// ProgressEvery overrides the progress period (default 5s).
+	ProgressEvery time.Duration
 }
 
 // Defaults fills zero fields.
@@ -124,7 +135,8 @@ func (c Config) job(d design, workload string, core uarch.Config) runner.Sim {
 
 // runnerOptions builds the batch options an experiment grid runs under.
 func (c Config) runnerOptions() runner.Options {
-	return runner.Options{Workers: c.Parallelism, Seed: c.Seed, Timeout: c.Timeout}
+	return runner.Options{Workers: c.Parallelism, Seed: c.Seed, Timeout: c.Timeout,
+		Metrics: c.Metrics, Progress: c.Progress, ProgressEvery: c.ProgressEvery}
 }
 
 // runAll fans an experiment's independent simulations out across
@@ -704,6 +716,70 @@ func Energy(cfg Config) *stats.Table {
 		}
 		t.AddRow(grid[i].d.name, grid[i].w,
 			fmt.Sprintf("%.0f", rep.PerKiloInst(r.Sim.Instructions)), top)
+	}
+	return t
+}
+
+// ---- H2P summary ----
+
+// H2P profiles the Table I designs on the branchy SPECint proxies and
+// summarizes how concentrated each design's mispredictions are in a handful
+// of static branches — the "hard-to-predict branch" phenomenon: a small set
+// of static H2Ps dominates MPKI, so per-PC attribution tells a composer
+// where a topology change would actually pay off.
+func H2P(cfg Config) *stats.Table {
+	cfg = cfg.Defaults()
+	t := &stats.Table{
+		Title: "H2P summary — misprediction concentration per design (committed CFIs)",
+		Headers: []string{"design", "workload", "pcs", "mispredicts",
+			"top-1", "top-5", "top-10", "hardest pc", "wrong provider"},
+	}
+	type point struct {
+		d design
+		w string
+	}
+	var grid []point
+	var jobs []runner.Sim
+	for _, d := range designs() {
+		for _, w := range []string{"gcc", "leela"} {
+			grid = append(grid, point{d, w})
+			j := cfg.job(d, w, uarch.DefaultConfig())
+			j.Attribution = true
+			jobs = append(jobs, j)
+		}
+	}
+	full, err := runner.RunFull(jobs, cfg.runnerOptions())
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	for i, r := range full {
+		checkParanoid(jobs[i].Topology, jobs[i].Workload, r.Pipeline)
+		prof := r.Profile
+		if got, want := prof.TotalMispredicts(), r.Sim.Mispredicts; got != want {
+			panic(fmt.Sprintf("experiments: h2p attribution drift (%s on %s): profile %d != counter %d",
+				grid[i].d.name, grid[i].w, got, want))
+		}
+		hardest, wrong := "-", "-"
+		if top := prof.Top(1); len(top) > 0 && top[0].Misp > 0 {
+			hardest = fmt.Sprintf("0x%x (%s)", top[0].PC, top[0].Kind)
+			if len(top[0].WrongBy) > 0 {
+				ks := stats.SortedKeys(top[0].WrongBy)
+				best := ks[0]
+				for _, k := range ks {
+					if top[0].WrongBy[k] > top[0].WrongBy[best] {
+						best = k
+					}
+				}
+				wrong = best
+			}
+		}
+		t.AddRow(grid[i].d.name, grid[i].w,
+			fmt.Sprintf("%d", prof.PCs()),
+			fmt.Sprintf("%d", prof.TotalMispredicts()),
+			fmt.Sprintf("%.1f%%", prof.ShareTop(1)*100),
+			fmt.Sprintf("%.1f%%", prof.ShareTop(5)*100),
+			fmt.Sprintf("%.1f%%", prof.ShareTop(10)*100),
+			hardest, wrong)
 	}
 	return t
 }

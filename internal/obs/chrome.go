@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteChrome exports events in the Chrome trace_event JSON format, loadable
+// in chrome://tracing and Perfetto.  Each sub-component becomes its own named
+// thread; frontend-level records (redirect, squash) land on thread 0.  One
+// simulated cycle maps to one trace microsecond.  Predict events render as
+// complete ("X") slices spanning the component's response latency; all other
+// events render as instants.  The output is deterministic: field order is
+// fixed and events appear in input order.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Thread directory: tid 0 is the frontend, components get tids in first-
+	// appearance order.
+	tids := map[string]int{"": 0}
+	order := []string{""}
+	for _, ev := range events {
+		if _, ok := tids[ev.Comp]; !ok {
+			tids[ev.Comp] = len(order)
+			order = append(order, ev.Comp)
+		}
+	}
+	first := true
+	emit := func(format string, args ...interface{}) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for tid, name := range order {
+		if name == "" {
+			name = "frontend"
+		}
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, name)
+	}
+	for i := range events {
+		ev := &events[i]
+		tid := tids[ev.Comp]
+		switch {
+		case ev.Kind == KPredict && ev.Dur > 0:
+			emit(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"pc":"0x%x","seq":%d,"slot":%d,"metasum":"0x%x"}}`,
+				tid, ev.Cycle, ev.Dur, ev.Kind.String(), ev.PC, ev.Seq, ev.Slot, ev.MetaSum)
+		default:
+			scope := "t"
+			if ev.Comp == "" {
+				scope = "g" // frontend records span the whole process lane
+			}
+			emit(`{"ph":"i","pid":1,"tid":%d,"ts":%d,"s":%q,"name":%q,"args":{"pc":"0x%x","seq":%d,"slot":%d,"metasum":"0x%x"}}`,
+				tid, ev.Cycle, scope, ev.Kind.String(), ev.PC, ev.Seq, ev.Slot, ev.MetaSum)
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

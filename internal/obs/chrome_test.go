@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenEvents is a tiny deterministic run's worth of records: one fetch
+// packet predicted by two components, fired, mispredicted, repaired, and the
+// next packet squashed — every record shape the exporter emits.
+func goldenEvents() []Event {
+	return []Event{
+		{Cycle: 10, PC: 0x1000, Seq: 1, Kind: KPredict, Comp: "UBTB1", Slot: -1, Dur: 1, MetaSum: 0x1111},
+		{Cycle: 10, PC: 0x1000, Seq: 1, Kind: KPredict, Comp: "TAGE3", Slot: -1, Dur: 3, MetaSum: 0x2222},
+		{Cycle: 11, PC: 0x1000, Seq: 1, Kind: KFire, Comp: "UBTB1", Slot: 2, MetaSum: 0x1111},
+		{Cycle: 11, PC: 0x1000, Seq: 1, Kind: KFire, Comp: "TAGE3", Slot: 2, MetaSum: 0x2222},
+		{Cycle: 15, PC: 0x1010, Seq: 2, Kind: KSquash, Slot: -1},
+		{Cycle: 15, PC: 0x1000, Seq: 1, Kind: KMispredict, Comp: "UBTB1", Slot: 2, MetaSum: 0x1111},
+		{Cycle: 15, PC: 0x1000, Seq: 1, Kind: KMispredict, Comp: "TAGE3", Slot: 2, MetaSum: 0x2222},
+		{Cycle: 15, PC: 0x1040, Seq: 1, Kind: KRedirect, Slot: -1},
+		{Cycle: 16, PC: 0x1000, Seq: 1, Kind: KRepair, Comp: "TAGE3", Slot: -1, MetaSum: 0x2222},
+		{Cycle: 20, PC: 0x1000, Seq: 1, Kind: KUpdate, Comp: "UBTB1", Slot: 2, MetaSum: 0x1111},
+		{Cycle: 20, PC: 0x1000, Seq: 1, Kind: KUpdate, Comp: "TAGE3", Slot: 2, MetaSum: 0x2222},
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "chrome_trace.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run Golden -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file %s:\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// chromeTrace mirrors the trace_event container for validation.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string          `json:"ph"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Ts   *uint64         `json:"ts"`
+		Dur  uint64          `json:"dur"`
+		Name string          `json:"name"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	evs := goldenEvents()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 3 thread_name metadata records (frontend, UBTB1, TAGE3) + one per event.
+	if want := 3 + len(evs); len(tr.TraceEvents) != want {
+		t.Fatalf("got %d traceEvents, want %d", len(tr.TraceEvents), want)
+	}
+	meta, complete, instant := 0, 0, 0
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Dur == 0 {
+				t.Error("complete event without duration")
+			}
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Ph != "M" && ev.Ts == nil {
+			t.Errorf("%s event missing ts", ev.Ph)
+		}
+	}
+	if meta != 3 || complete != 2 || instant != len(evs)-2 {
+		t.Fatalf("phase counts meta=%d complete=%d instant=%d", meta, complete, instant)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 1 { // frontend thread_name only
+		t.Fatalf("got %d traceEvents, want 1", len(tr.TraceEvents))
+	}
+}

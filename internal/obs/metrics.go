@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the shared telemetry sink for a batch of simulations: atomic
+// counters the cores and the runner update live, snapshotted into a
+// Prometheus-style text exposition and a one-line progress report.  All
+// methods are safe for concurrent use; a nil *Metrics is a valid no-op
+// receiver for the Add/Job methods, so producers need no guards beyond the
+// pointer they already hold.
+type Metrics struct {
+	start time.Time
+
+	jobsTotal   atomic.Uint64
+	jobsStarted atomic.Uint64
+	jobsDone    atomic.Uint64
+	jobsFailed  atomic.Uint64
+
+	cycles atomic.Uint64
+	insts  atomic.Uint64
+}
+
+// NewMetrics returns a zeroed metrics sink with the uptime clock started.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// AddJobs records n submitted jobs.
+func (m *Metrics) AddJobs(n int) {
+	if m != nil {
+		m.jobsTotal.Add(uint64(n))
+	}
+}
+
+// JobStarted records one job beginning execution.
+func (m *Metrics) JobStarted() {
+	if m != nil {
+		m.jobsStarted.Add(1)
+	}
+}
+
+// JobDone records one job finishing; failed marks it as errored.
+func (m *Metrics) JobDone(failed bool) {
+	if m == nil {
+		return
+	}
+	m.jobsDone.Add(1)
+	if failed {
+		m.jobsFailed.Add(1)
+	}
+}
+
+// AddCycles accumulates simulated cycles (cores flush deltas periodically).
+func (m *Metrics) AddCycles(n uint64) {
+	if m != nil {
+		m.cycles.Add(n)
+	}
+}
+
+// AddInsts accumulates committed instructions.
+func (m *Metrics) AddInsts(n uint64) {
+	if m != nil {
+		m.insts.Add(n)
+	}
+}
+
+// Snapshot is a consistent-enough point-in-time read of the counters with
+// the derived rates the reports print.
+type Snapshot struct {
+	JobsTotal, JobsStarted, JobsDone, JobsFailed uint64
+	Cycles, Instructions                         uint64
+	Uptime                                       time.Duration
+	KCyclesPerSec                                float64 // simulation rate
+}
+
+// Snap reads the counters.
+func (m *Metrics) Snap() Snapshot {
+	s := Snapshot{
+		JobsTotal:    m.jobsTotal.Load(),
+		JobsStarted:  m.jobsStarted.Load(),
+		JobsDone:     m.jobsDone.Load(),
+		JobsFailed:   m.jobsFailed.Load(),
+		Cycles:       m.cycles.Load(),
+		Instructions: m.insts.Load(),
+		Uptime:       time.Since(m.start),
+	}
+	if sec := s.Uptime.Seconds(); sec > 0 {
+		s.KCyclesPerSec = float64(s.Cycles) / 1000 / sec
+	}
+	return s
+}
+
+// Expo renders the Prometheus text exposition the -metrics-addr endpoint
+// serves (and expvar-style consumers can scrape).
+func (m *Metrics) Expo() string {
+	s := m.Snap()
+	var b strings.Builder
+	line := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	line("cobra_jobs_total", "simulation jobs submitted to the runner", s.JobsTotal)
+	line("cobra_jobs_running", "jobs currently executing", s.JobsStarted-s.JobsDone)
+	line("cobra_jobs_done", "jobs finished (including failures)", s.JobsDone)
+	line("cobra_jobs_failed", "jobs that returned an error", s.JobsFailed)
+	line("cobra_sim_cycles_total", "simulated cycles across all jobs", s.Cycles)
+	line("cobra_sim_instructions_total", "committed instructions across all jobs", s.Instructions)
+	line("cobra_sim_kcycles_per_second", "aggregate simulation rate", fmt.Sprintf("%.1f", s.KCyclesPerSec))
+	line("cobra_uptime_seconds", "seconds since the metrics sink was created", fmt.Sprintf("%.1f", s.Uptime.Seconds()))
+	return b.String()
+}
+
+// ProgressLine renders the one-line periodic report long sweeps print.
+func (m *Metrics) ProgressLine() string {
+	s := m.Snap()
+	return fmt.Sprintf("[runner] %d/%d jobs done (%d running, %d failed)  %.1f Mcycles  %.1f Minsts  %.1f kcycles/s  %s elapsed",
+		s.JobsDone, s.JobsTotal, s.JobsStarted-s.JobsDone, s.JobsFailed,
+		float64(s.Cycles)/1e6, float64(s.Instructions)/1e6, s.KCyclesPerSec,
+		s.Uptime.Truncate(time.Second))
+}
+
+// ServeMetrics starts an HTTP listener on addr serving the text exposition
+// at / and /metrics.  It returns the bound address (useful with ":0") and a
+// closer.  Pass the returned close func to defer so tests and tools release
+// the port.
+func ServeMetrics(addr string, m *Metrics) (string, func() error, error) {
+	mux := http.NewServeMux()
+	h := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, m.Expo())
+	}
+	mux.HandleFunc("/", h)
+	mux.HandleFunc("/metrics", h)
+	return serve(addr, mux)
+}
+
+// ServePprof starts an HTTP listener on addr exposing net/http/pprof (CPU
+// and heap profiles, goroutine dumps, and the /debug/pprof/trace runtime
+// execution tracer).  It returns the bound address and a closer.
+func ServePprof(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return serve(addr, mux)
+}
+
+func serve(addr string, mux *http.ServeMux) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close is expected
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

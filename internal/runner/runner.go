@@ -24,12 +24,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"cobra/internal/compose"
+	"cobra/internal/obs"
 	"cobra/internal/program"
 	"cobra/internal/stats"
 	"cobra/internal/uarch"
@@ -106,6 +108,12 @@ type Sim struct {
 	Core   uarch.Config
 	Insts  uint64 // measured instructions
 	Warmup uint64 // instructions discarded before measurement
+
+	// Attribution, when true, attaches a fresh obs.BranchProfile to the job's
+	// core so the result carries per-PC misprediction attribution (H2P
+	// analysis).  Each job gets its own profile — no cross-job sharing — so
+	// determinism and the parallel merge are unaffected.
+	Attribution bool
 }
 
 // Policy selects how a batch reacts to job failures.
@@ -137,6 +145,18 @@ type Options struct {
 	Timeout time.Duration
 	// Ctx, when non-nil, cancels the whole batch when done (e.g. SIGINT).
 	Ctx context.Context
+
+	// Metrics, when non-nil, receives live batch telemetry (job counts,
+	// simulated cycles/instructions) that a -metrics-addr endpoint can serve
+	// while the batch runs.  Purely observational: counters never influence
+	// job scheduling or results.
+	Metrics *obs.Metrics
+	// Progress, when non-nil, gets a one-line status report written every
+	// ProgressEvery (default 5s) while the batch runs — the long-sweep
+	// heartbeat.  A Metrics sink is created internally if none was given.
+	Progress io.Writer
+	// ProgressEvery overrides the progress reporting period.
+	ProgressEvery time.Duration
 }
 
 // JobError identifies which job of a batch failed and why.
@@ -192,11 +212,17 @@ func (e *BatchError) Unwrap() []error {
 type Result struct {
 	Sim      *stats.Sim
 	Pipeline *compose.Pipeline
+	// Wall is the job's wall-clock run time (telemetry; excluded from any
+	// simulated quantity).
+	Wall time.Duration
+	// Profile carries per-PC misprediction attribution when the job asked
+	// for it (Sim.Attribution); nil otherwise.
+	Profile *obs.BranchProfile
 }
 
 // run executes one job with an already-derived seed.  ctx cancellation is
 // cooperative: the core polls it and the job reports ctx.Err().
-func (j Sim) run(ctx context.Context, seed uint64) (Result, error) {
+func (j Sim) run(ctx context.Context, seed uint64, met *obs.Metrics) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err // batch already cancelled; don't start
 	}
@@ -221,6 +247,12 @@ func (j Sim) run(ctx context.Context, seed uint64) (Result, error) {
 	}
 	c := uarch.NewCore(j.Core, bp, prog, seed)
 	c.SetContext(ctx)
+	c.SetMetrics(met)
+	var prof *obs.BranchProfile
+	if j.Attribution {
+		prof = obs.NewBranchProfile()
+		c.SetBranchProfile(prof)
+	}
 	if j.Warmup > 0 {
 		c.Run(j.Warmup)
 		if err := ctx.Err(); err != nil {
@@ -232,19 +264,19 @@ func (j Sim) run(ctx context.Context, seed uint64) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	return Result{Sim: s, Pipeline: bp}, nil
+	return Result{Sim: s, Pipeline: bp, Profile: prof}, nil
 }
 
 // safeRun is run behind a recover boundary: a panicking job (component bug,
 // watchdog deadlock, poisoned workload) becomes a *PanicError carrying the
 // panic value and stack instead of killing the whole process.
-func (j Sim) safeRun(ctx context.Context, seed uint64) (res Result, err error) {
+func (j Sim) safeRun(ctx context.Context, seed uint64, met *obs.Metrics) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return j.run(ctx, seed)
+	return j.run(ctx, seed, met)
 }
 
 // RunFull executes jobs across workers and returns results in submission
@@ -259,6 +291,35 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 	}
 	batch, cancel := context.WithCancel(base)
 	defer cancel()
+	met := opt.Metrics
+	if met == nil && opt.Progress != nil {
+		met = obs.NewMetrics() // progress reporting needs a counter sink
+	}
+	met.AddJobs(len(jobs))
+	if opt.Progress != nil {
+		every := opt.ProgressEvery
+		if every <= 0 {
+			every = 5 * time.Second
+		}
+		tick := time.NewTicker(every)
+		done := make(chan struct{})
+		idle := make(chan struct{})
+		go func() {
+			defer close(idle)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					fmt.Fprintln(opt.Progress, met.ProgressLine())
+				}
+			}
+		}()
+		// Wait for the reporter to finish any in-flight write before
+		// returning, so callers may reuse the Progress writer immediately.
+		defer func() { close(done); <-idle }()
+	}
 	type slot struct {
 		res Result
 		err error
@@ -269,8 +330,12 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 		if opt.Timeout > 0 {
 			ctx, stop = context.WithTimeout(batch, opt.Timeout)
 		}
-		res, err := jobs[i].safeRun(ctx, Derive(opt.Seed, uint64(i)))
+		met.JobStarted()
+		begin := time.Now()
+		res, err := jobs[i].safeRun(ctx, Derive(opt.Seed, uint64(i)), met)
+		res.Wall = time.Since(begin)
 		stop()
+		met.JobDone(err != nil)
 		if err != nil && opt.Policy == FailFast {
 			cancel()
 		}

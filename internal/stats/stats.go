@@ -35,7 +35,18 @@ type Sim struct {
 	ProviderHits map[string]uint64
 }
 
+// NewSim returns a Sim with the attribution map pre-allocated.  Every
+// long-lived counter set (uarch.Core, the runner's per-job results) starts
+// from this constructor so AddProviderHit never has to lazily allocate on a
+// path an observer may be watching concurrently; the zero value remains
+// valid for throwaway aggregation.
+func NewSim() Sim {
+	return Sim{ProviderHits: make(map[string]uint64)}
+}
+
 // AddProviderHit attributes a final prediction to the named sub-component.
+// Prefer constructing the Sim with NewSim; the lazy allocation here only
+// backstops zero-value Sims.
 func (s *Sim) AddProviderHit(name string) {
 	if s.ProviderHits == nil {
 		s.ProviderHits = make(map[string]uint64)

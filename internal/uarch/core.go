@@ -6,6 +6,7 @@ import (
 
 	"cobra/internal/components"
 	"cobra/internal/compose"
+	"cobra/internal/obs"
 	"cobra/internal/program"
 	"cobra/internal/stats"
 )
@@ -95,6 +96,14 @@ type Core struct {
 	histRepairBase  uint64
 
 	ctx context.Context // optional cooperative-cancellation handle
+
+	// observability (all nil/zero-cost when disabled; see internal/obs)
+	obsv       obs.Observer       // mirrors bp.Observer(): frontend redirect records
+	prof       *obs.BranchProfile // per-PC misprediction attribution (H2P)
+	opsScratch []obs.Opinion      // reused opinion buffer for prof records
+	met        *obs.Metrics       // live telemetry sink (flushed periodically)
+	metCycles  uint64             // cycles already flushed to met
+	metInsts   uint64             // instructions already flushed to met
 }
 
 // NewCore wires a predictor pipeline to a program.
@@ -115,7 +124,45 @@ func NewCore(cfg Config, bp *compose.Pipeline, prog *program.Program, seed uint6
 		onCorrect: true,
 		rob:       make([]robE, cfg.ROBEntries),
 		pending:   make(map[uint64]*pendingEntry),
+		obsv:      bp.Observer(),
+		S:         stats.NewSim(),
 	}
+}
+
+// SetBranchProfile attaches a per-PC misprediction attribution profile: the
+// commit stage records every committed control-flow instruction into it,
+// and the pipeline starts tracking per-component direction opinions so the
+// profile can name overridden-but-right components.  Nil detaches.
+func (c *Core) SetBranchProfile(p *obs.BranchProfile) {
+	c.prof = p
+	if p != nil {
+		c.bp.EnableOpinionTracking()
+	}
+}
+
+// SetMetrics attaches a live telemetry sink: Run flushes cycle/instruction
+// deltas into it periodically (every few thousand simulated cycles), so a
+// metrics endpoint or progress reporter sees a long simulation advance
+// instead of one lump at the end.
+func (c *Core) SetMetrics(m *obs.Metrics) { c.met = m }
+
+// flushMetrics pushes the not-yet-reported cycle/instruction deltas.
+func (c *Core) flushMetrics() {
+	c.met.AddCycles(c.cycle - c.metCycles)
+	c.metCycles = c.cycle
+	if c.S.Instructions >= c.metInsts {
+		c.met.AddInsts(c.S.Instructions - c.metInsts)
+	}
+	c.metInsts = c.S.Instructions
+}
+
+// emitRedirect records a frontend redirect on the observability stream.
+func (c *Core) emitRedirect(seq, target uint64) {
+	if c.obsv == nil {
+		return
+	}
+	ev := obs.Event{Cycle: c.cycle, PC: target, Seq: seq, Kind: obs.KRedirect, Slot: -1}
+	c.obsv.Event(&ev)
 }
 
 // SetContext attaches a cancellation context: Run polls it periodically and
@@ -163,6 +210,17 @@ func (c *Core) unpend(seq uint64, commit bool) {
 	if commit && p.entry.Valid() {
 		c.bp.Commit(c.cycle, p.entry)
 	}
+}
+
+// tgtProvider names the sub-component whose target opinion the frontend
+// accepted for f's slot, for H2P attribution of jumps and indirects.
+func (c *Core) tgtProvider(f *fbInst) string {
+	if f.entry != nil && f.slot < len(f.entry.Used) {
+		if p := f.entry.Used[f.slot].TgtProvider; p != "" {
+			return p
+		}
+	}
+	return "(none)"
 }
 
 func classIQ(f *fbInst) uint8 {
@@ -388,6 +446,7 @@ func (c *Core) flushAfter(r *robE, redirect uint64) {
 	c.predOffActive = false
 	c.fetchPC = redirect
 	c.stallUntil = c.cycle + uint64(c.cfg.RedirectLatency)
+	c.emitRedirect(eSeq, redirect)
 }
 
 // commit retires completed instructions in order.
@@ -424,17 +483,31 @@ func (c *Core) commit() {
 							c.S.TgtMispredicts++
 						}
 					}
+					if c.prof != nil {
+						var ops []obs.Opinion
+						if r.misp && f.entry != nil {
+							c.opsScratch = c.bp.SlotOpinions(f.entry, f.slot, c.opsScratch)
+							ops = c.opsScratch
+						}
+						c.prof.Record(f.pc, "branch", f.step.Taken, r.misp, prov, ops)
+					}
 				case program.KindJump, program.KindCall:
 					c.S.Jumps++
 					if r.misp {
 						c.S.Mispredicts++
 						c.S.TgtMispredicts++
 					}
+					if c.prof != nil {
+						c.prof.Record(f.pc, "jump", true, r.misp, c.tgtProvider(f), nil)
+					}
 				case program.KindRet, program.KindIndirect:
 					c.S.IndirectJumps++
 					if r.misp {
 						c.S.Mispredicts++
 						c.S.TgtMispredicts++
+					}
+					if c.prof != nil {
+						c.prof.Record(f.pc, "indirect", true, r.misp, c.tgtProvider(f), nil)
 					}
 				}
 			}
@@ -490,7 +563,11 @@ func (c *Core) step() {
 // microarchitectural state — the standard warm-up methodology: run a
 // warm-up slice, reset, then measure.
 func (c *Core) ResetStats() {
-	c.S = stats.Sim{}
+	if c.met != nil {
+		c.flushMetrics()
+	}
+	c.S = stats.NewSim()
+	c.metInsts = 0
 	c.cycleBase = c.cycle
 	c.histRepairBase = c.bp.C.HistRepairs
 }
@@ -506,6 +583,11 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 		if c.ctx != nil && c.cycle&0xFF == 0 && c.ctx.Err() != nil {
 			break
 		}
+		// Telemetry flush every 8K cycles keeps a live metrics endpoint or
+		// progress line moving through a long run at negligible cost.
+		if c.met != nil && c.cycle&0x1FFF == 0 {
+			c.flushMetrics()
+		}
 		c.step()
 		if c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
 			panic(fmt.Sprintf("uarch: no commit for %d cycles at cycle %d (pc=%#x, rob=%d, fb=%d, inflight=%d)",
@@ -514,5 +596,8 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 	}
 	c.S.Cycles = c.cycle - c.cycleBase
 	c.S.HistoryRepairs = c.bp.C.HistRepairs - c.histRepairBase
+	if c.met != nil {
+		c.flushMetrics()
+	}
 	return &c.S
 }

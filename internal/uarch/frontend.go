@@ -250,12 +250,14 @@ scan:
 		c.dropYoungerPkts(pk)
 		c.fetchPC = next
 		c.S.RedirectFlushes++
+		c.emitRedirect(pk.e.Seq(), next)
 	} else if !slotsEqual(slots, pk.slots) || cfi != pk.cfiIdx {
 		c.bp.ReAccept(c.cycle, pk.e, view, slots, cfi, next, replay)
 		if replay {
 			c.dropYoungerPkts(pk)
 			c.fetchPC = next
 			c.S.FetchReplays++
+			c.emitRedirect(pk.e.Seq(), next)
 		} else {
 			c.S.HistoryRepairs++
 		}
@@ -393,6 +395,7 @@ func (c *Core) frontendAdvance() {
 				c.dropYoungerPkts(pk)
 				c.fetchPC = next
 				c.S.RedirectFlushes++
+				c.emitRedirect(pk.e.Seq(), next)
 				redirected = true
 			}
 		}

@@ -1,0 +1,142 @@
+package cobra
+
+// Integration tests for the observability layer: the zero-cost-when-disabled
+// contract, per-PC attribution against the run counters, and the exporters
+// driven by a real simulation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+const obsTestInsts = 60_000
+
+// TestObserverZeroCost runs the same simulation bare and fully instrumented
+// (tracer + profile + metrics); every counter must be bit-identical — the
+// observability layer observes, it never steers.
+func TestObserverZeroCost(t *testing.T) {
+	rc := RunConfig{Design: TAGEL(), Workload: "gcc", MaxInsts: obsTestInsts}
+	bare, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Observer = NewTracer(1 << 10)
+	rc.Profile = NewBranchProfile()
+	rc.Metrics = NewMetrics()
+	instrumented, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, instrumented) {
+		t.Fatalf("instrumentation changed results:\nbare:         %+v\ninstrumented: %+v", bare, instrumented)
+	}
+}
+
+// TestH2PSumInvariant is the acceptance criterion: per-PC mispredict counts
+// sum to stats.Sim.Mispredicts on a Table I design.
+func TestH2PSumInvariant(t *testing.T) {
+	for _, d := range Designs() {
+		prof := NewBranchProfile()
+		res, err := Run(RunConfig{Design: d, Workload: "leela", MaxInsts: obsTestInsts, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, st := range prof.Top(0) {
+			sum += st.Misp
+		}
+		if sum != res.Mispredicts || prof.TotalMispredicts() != res.Mispredicts {
+			t.Errorf("%s: per-PC sum %d / profile %d != counter %d",
+				d.Name, sum, prof.TotalMispredicts(), res.Mispredicts)
+		}
+		if cfis := res.Branches + res.Jumps + res.IndirectJumps; prof.TotalExecs() != cfis {
+			t.Errorf("%s: profile execs %d != committed CFIs %d", d.Name, prof.TotalExecs(), cfis)
+		}
+	}
+}
+
+// TestEventStreamFromSim checks the traced stream of a real run: events
+// arrive, cycles are monotone, the five interface kinds all fire, and both
+// exporters accept the stream.
+func TestEventStreamFromSim(t *testing.T) {
+	tr := NewTracer(1 << 14)
+	if _, err := Run(RunConfig{Design: B2(), Workload: "mcf", MaxInsts: obsTestInsts, Observer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events traced")
+	}
+	seen := map[string]bool{}
+	var prev uint64
+	for i := range evs {
+		if evs[i].Cycle < prev {
+			t.Fatalf("event %d: cycle went backwards (%d < %d)", i, evs[i].Cycle, prev)
+		}
+		prev = evs[i].Cycle
+		seen[evs[i].Kind.String()] = true
+	}
+	for _, kind := range []string{"predict", "fire", "mispredict", "repair", "update", "redirect", "squash"} {
+		if !seen[kind] {
+			t.Errorf("no %q events in a %d-instruction run", kind, obsTestInsts)
+		}
+	}
+
+	var bin bytes.Buffer
+	if err := WriteBinaryEvents(&bin, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryEvents(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, evs) {
+		t.Fatal("binary round trip of a sim stream diverged")
+	}
+
+	var cj bytes.Buffer
+	if err := WriteChromeTrace(&cj, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cj.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export of a sim stream is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(evs) {
+		t.Fatalf("chrome export lost events: %d < %d", len(doc.TraceEvents), len(evs))
+	}
+}
+
+// TestNilObserverAllocBaseline is the disabled-path regression guard: the
+// warmed Predict/Commit loop without an observer must stay on the recorded
+// pre-observability allocation baseline (20 allocs/op, from the seed
+// revision's BenchmarkPipelinePredict — all from the per-stage packet clones).
+// A single extra allocation per op would dwarf the 2% overhead budget, so
+// this machine-independent count is the CI-enforceable form of the timing
+// guard; see DESIGN.md §9 and BenchmarkPipelineNoObserver.
+func TestNilObserverAllocBaseline(t *testing.T) {
+	const baselineAllocsPerOp = 20
+	p, err := TAGEL().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := uint64(0)
+	step := func() {
+		e, _ := p.Predict(cycle, 0x1000+(cycle%64)*16)
+		if e != nil {
+			p.Commit(cycle, e)
+		}
+		cycle++
+	}
+	for i := 0; i < 4096; i++ { // warm the entry arenas
+		step()
+	}
+	if avg := testing.AllocsPerRun(2000, step); avg != baselineAllocsPerOp {
+		t.Errorf("nil-observer Predict/Commit allocates %.2f per op, recorded baseline is %d",
+			avg, baselineAllocsPerOp)
+	}
+}
