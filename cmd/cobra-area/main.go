@@ -12,33 +12,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"time"
 
 	"cobra"
+	"cobra/internal/cli"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-area:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-area", run) }
 
 func run() error {
+	f := cli.AddRunFlags(flag.CommandLine, cli.GGuard)
 	var (
-		core     = flag.Bool("core", false, "whole-core breakdown (Fig. 9) instead of predictor-only (Fig. 8)")
-		design   = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
-		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every composed design")
-		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
+		core   = flag.Bool("core", false, "whole-core breakdown (Fig. 9) instead of predictor-only (Fig. 8)")
+		design = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
 	)
 	flag.Parse()
-	if *timeout > 0 {
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "cobra-area: timeout after %v\n", *timeout)
-			os.Exit(1)
-		})
-	}
+	cli.ExitAfter("cobra-area", *f.Timeout)
 
 	designs := cobra.Designs()
 	if *design != "" {
@@ -53,7 +41,7 @@ func run() error {
 		}
 	}
 	for _, d := range designs {
-		d.Opt.Paranoid = d.Opt.Paranoid || *paranoid
+		d.Opt.Paranoid = d.Opt.Paranoid || *f.Paranoid
 		var (
 			bd  cobra.Breakdown
 			err error

@@ -14,35 +14,24 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"time"
 
 	"cobra"
+	"cobra/internal/cli"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-diagram:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-diagram", run) }
 
 var paranoid *bool
 
 func run() error {
+	f := cli.AddRunFlags(flag.CommandLine, cli.GGuard)
 	var (
-		fig     = flag.Int("fig", 7, "paper figure to render: 2, 4, or 7")
-		topo    = flag.String("topology", "", "render a custom topology instead")
-		timeout = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
+		fig  = flag.Int("fig", 7, "paper figure to render: 2, 4, or 7")
+		topo = flag.String("topology", "", "render a custom topology instead")
 	)
-	paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every composed topology")
+	paranoid = f.Paranoid
 	flag.Parse()
-	if *timeout > 0 {
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "cobra-diagram: timeout after %v\n", *timeout)
-			os.Exit(1)
-		})
-	}
+	cli.ExitAfter("cobra-diagram", *f.Timeout)
 
 	if *topo != "" {
 		return render(cobra.Design{Name: "custom", Topology: *topo})

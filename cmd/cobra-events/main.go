@@ -18,20 +18,16 @@ import (
 	"math"
 	"os"
 	"strconv"
-	"time"
 
 	"cobra"
+	"cobra/internal/cli"
 	"cobra/internal/stats"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-events:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-events", run) }
 
 func run() error {
+	f := cli.AddRunFlags(flag.CommandLine, cli.GGuard)
 	var (
 		input    = flag.String("i", "", "binary event trace to read (required; written by cobra-sim -events)")
 		kind     = flag.String("kind", "", "keep only events of this kind (predict, fire, mispredict, repair, update, redirect, squash)")
@@ -42,27 +38,21 @@ func run() error {
 		limit    = flag.Int("n", 0, "print at most N events (0 = all)")
 		doStats  = flag.Bool("stats", false, "print per-kind and per-component counts instead of records")
 		chrome   = flag.String("chrome", "", "convert the (filtered) events to Chrome trace_event JSON at this path")
-		paranoid = flag.Bool("paranoid", false, "validate stream invariants (monotone cycles, known kinds) and fail on violation")
-		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
 	)
+	paranoid := f.Paranoid
 	flag.Parse()
 	if *input == "" {
 		flag.Usage()
 		return fmt.Errorf("-i is required")
 	}
-	if *timeout > 0 {
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "cobra-events: timeout after %v\n", *timeout)
-			os.Exit(1)
-		})
-	}
+	cli.ExitAfter("cobra-events", *f.Timeout)
 
-	f, err := os.Open(*input)
+	in, err := os.Open(*input)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	events, err := cobra.ReadBinaryEvents(f)
+	defer in.Close()
+	events, err := cobra.ReadBinaryEvents(in)
 	if err != nil {
 		return fmt.Errorf("reading %s: %w", *input, err)
 	}

@@ -24,40 +24,32 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"time"
 
+	"cobra/internal/cli"
 	"cobra/internal/experiments"
-	"cobra/internal/obs"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-experiments:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-experiments", run) }
 
 func run() error {
+	f := cli.AddRunFlags(flag.CommandLine,
+		cli.GBudget|cli.GGuard|cli.GTelemetry|cli.GProgress)
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids")
-		insts    = flag.Uint64("insts", 1_000_000, "instructions per simulation run")
-		warmup   = flag.Uint64("warmup", 0, "instructions discarded before measurement")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
-		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every simulated design")
-		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
-
-		progress  = flag.Duration("progress", 0, "print a runner status line to stderr at this period (0 = off)")
-		metrics   = flag.String("metrics-addr", "", "serve live Prometheus-style metrics on this address")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
+		exp  = flag.String("exp", "all", "comma-separated experiment ids")
+		jobs = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Insts: *insts, Warmup: *warmup, Seed: *seed,
-		Parallelism: *jobs, Paranoid: *paranoid, Timeout: *timeout}
-	if close, err := serveTelemetry(&cfg, *progress, *metrics, *pprofAddr); err != nil {
+	cfg := experiments.Config{Insts: *f.Insts, Warmup: *f.Warmup, Seed: *f.Seed,
+		Parallelism: *jobs, Paranoid: *f.Paranoid, Timeout: *f.Timeout}
+	met, progress, closeTel, err := f.Telemetry("cobra-experiments")
+	if err != nil {
 		return err
-	} else if close != nil {
-		defer close()
+	}
+	defer closeTel()
+	cfg.Metrics = met
+	if progress > 0 {
+		cfg.Progress = os.Stderr
+		cfg.ProgressEvery = progress
 	}
 
 	all := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10",
@@ -111,43 +103,4 @@ func run() error {
 		}
 	}
 	return nil
-}
-
-// serveTelemetry wires the shared observability flags into an experiment
-// config: a metrics sink (created when -progress or -metrics-addr asks for
-// one), the Prometheus endpoint, and the pprof listener.  The returned closer
-// (possibly nil) releases the listeners.
-func serveTelemetry(cfg *experiments.Config, progress time.Duration, metricsAddr, pprofAddr string) (func(), error) {
-	var closers []func() error
-	if progress > 0 {
-		cfg.Progress = os.Stderr
-		cfg.ProgressEvery = progress
-	}
-	if metricsAddr != "" || progress > 0 {
-		cfg.Metrics = obs.NewMetrics()
-	}
-	if metricsAddr != "" {
-		addr, close, err := obs.ServeMetrics(metricsAddr, cfg.Metrics)
-		if err != nil {
-			return nil, fmt.Errorf("metrics listener: %w", err)
-		}
-		closers = append(closers, close)
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
-	}
-	if pprofAddr != "" {
-		addr, close, err := obs.ServePprof(pprofAddr)
-		if err != nil {
-			return nil, fmt.Errorf("pprof listener: %w", err)
-		}
-		closers = append(closers, close)
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
-	}
-	if len(closers) == 0 {
-		return nil, nil
-	}
-	return func() {
-		for _, c := range closers {
-			c() //nolint:errcheck
-		}
-	}, nil
 }

@@ -1,0 +1,107 @@
+// Command cobra-serve runs the simulation service: a long-lived daemon that
+// accepts RunSpecs over HTTP, executes them on a bounded worker pool, and
+// memoizes results in a content-addressed cache keyed by the spec digest.
+//
+// Usage:
+//
+//	cobra-serve -addr :8080
+//	cobra-serve -addr 127.0.0.1:0 -workers 8 -queue 128 -cache-dir /var/cache/cobra
+//	cobra-sim -design b2 -workload fib -insts 50000 -print-spec > run.json
+//	curl -s -d @run.json http://localhost:8080/v1/runs
+//	curl -s http://localhost:8080/v1/runs/sha256:<digest>
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued jobs
+// run to completion (up to -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cobra/internal/cli"
+	"cobra/internal/obs"
+	"cobra/internal/serve"
+)
+
+func main() { cli.Main("cobra-serve", run) }
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queueLen     = flag.Int("queue", 64, "pending-job bound; a full queue answers 429")
+		cacheN       = flag.Int("cache", 256, "in-memory result cache entries")
+		cacheDir     = flag.String("cache-dir", "", "persist results in this directory (must exist; empty = memory only)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock cap on top of each spec's own timeout (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued jobs before abandoning them")
+		quiet        = flag.Bool("quiet", false, "suppress the per-job log lines")
+	)
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
+	flag.Parse()
+
+	if *cacheDir != "" {
+		if st, err := os.Stat(*cacheDir); err != nil || !st.IsDir() {
+			return fmt.Errorf("-cache-dir %q is not a directory", *cacheDir)
+		}
+	}
+	logger := log.New(os.Stderr, "cobra-serve: ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueLen:     *queueLen,
+		CacheEntries: *cacheN,
+		CacheDir:     *cacheDir,
+		JobTimeout:   *jobTimeout,
+		Log:          logger,
+	})
+	srv.Start()
+
+	if *pprofAddr != "" {
+		bound, closePprof, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer closePprof() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "cobra-serve: listening on http://%s (POST /v1/runs)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "cobra-serve: draining (up to %v)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "cobra-serve: drained cleanly")
+	return nil
+}

@@ -8,129 +8,118 @@
 //	cobra-sim -design tourney -workload dhrystone -policy replay -sfb
 //	cobra-sim -design tage-l -workload gcc -paranoid -timeout 60s
 //	cobra-sim -design tage-l -workload gcc -events trace.json -top-branches 10
+//	cobra-sim -design b2 -workload gcc -print-spec > run.json
+//	cobra-sim -spec run.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"cobra"
+	"cobra/internal/cli"
+	"cobra/internal/obs"
+	"cobra/internal/spec"
 	"cobra/internal/stats"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-sim:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-sim", run) }
 
 func run() error {
-	var (
-		design   = flag.String("design", "tage-l", "paper design: tage-l, b2, tourney (ignored with -topology)")
-		topology = flag.String("topology", "", "explicit topology string, e.g. \"GTAG3 > BTB2 > BIM2\"")
-		ghist    = flag.Uint("ghist", 64, "global history bits (with -topology)")
-		workload = flag.String("workload", "dhrystone", "workload name (SPECint proxy, dhrystone, coremark)")
-		insts    = flag.Uint64("insts", 1_000_000, "architectural instructions to simulate")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		policy   = flag.String("policy", "repair", "GHR policy: repair, replay, none (§VI-B)")
-		serial   = flag.Bool("serialized", false, "serialize fetch behind branches (§II-A)")
-		sfb      = flag.Bool("sfb", false, "enable short-forwards-branch predication (§VI-C)")
-		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker; violations fail the run")
-		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock budget (0 = none)")
-		verbose  = flag.Bool("v", false, "print extended counters")
-
-		events    = flag.String("events", "", "capture the cycle-level event trace to this file (.json = Chrome trace_event for Perfetto, otherwise compact binary for cobra-events)")
-		eventsBuf = flag.Int("events-buf", 0, "event ring-buffer capacity (0 = default 65536; older events are dropped)")
-		topN      = flag.Int("top-branches", 0, "print the H2P table of the N hardest-to-predict branches")
-		metrics   = flag.String("metrics-addr", "", "serve live Prometheus-style metrics on this address (e.g. 127.0.0.1:9090)")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
-	)
+	f := cli.AddRunFlags(flag.CommandLine,
+		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GFaults|cli.GEvents|cli.GTelemetry)
+	specPath := flag.String("spec", "", "run the RunSpec JSON file at this path (run-shaping flags are ignored; -events/-top-branches still apply)")
+	printSpec := flag.Bool("print-spec", false, "print the canonical RunSpec JSON to stdout and its digest to stderr, then exit without running")
+	verbose := flag.Bool("v", false, "print extended counters")
 	flag.Parse()
 
-	d, err := pickDesign(*design, *topology, *ghist, *policy)
-	if err != nil {
-		return err
-	}
-	core := cobra.DefaultCoreConfig()
-	core.SerializedFetch = *serial
-	core.SFB = *sfb
-
-	if *pprofAddr != "" {
-		addr, closePprof, err := cobra.ServePprof(*pprofAddr)
-		if err != nil {
-			return fmt.Errorf("pprof listener: %w", err)
-		}
-		defer closePprof() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
-	}
-
-	rc := cobra.RunConfig{
-		Design: d, Workload: *workload, MaxInsts: *insts, Seed: *seed, Core: &core,
-		Paranoid: *paranoid, Timeout: *timeout,
-	}
-	var tracer *cobra.Tracer
-	if *events != "" {
-		tracer = cobra.NewTracer(*eventsBuf)
-		rc.Observer = tracer
-	}
-	var prof *cobra.BranchProfile
-	if *topN > 0 {
-		prof = cobra.NewBranchProfile()
-		rc.Profile = prof
-	}
-	if *metrics != "" {
-		m := cobra.NewMetrics()
-		rc.Metrics = m
-		m.AddJobs(1)
-		m.JobStarted()
-		addr, closeMetrics, err := cobra.ServeMetrics(*metrics, m)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
-		}
-		defer closeMetrics() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
-	}
-
-	res, err := cobra.Run(rc)
-	if rc.Metrics != nil {
-		rc.Metrics.JobDone(err != nil)
+	var (
+		s   *spec.RunSpec
+		err error
+	)
+	if *specPath != "" {
+		s, err = cli.LoadSpec(*specPath)
+	} else {
+		s, err = f.Spec()
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("design=%s topology=%q workload=%s\n", d.Name, d.Topology, *workload)
+	// Output-shaping flags apply even to a spec loaded from a file.
+	if *f.Events != "" {
+		s.Observe.Events = true
+		if *f.EventsBuf != 0 {
+			s.Observe.EventsBuf = *f.EventsBuf
+		}
+	}
+	if *f.TopBranches > 0 {
+		s.Observe.Attribution = true
+	}
+	if err := s.Canonicalize(); err != nil {
+		return err
+	}
+	if *printSpec {
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return err
+		}
+		digest, err := s.Digest()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		fmt.Fprintln(os.Stderr, "digest:", digest)
+		return nil
+	}
+
+	met, _, closeTel, err := f.Telemetry("cobra-sim")
+	if err != nil {
+		return err
+	}
+	defer closeTel()
+	if met != nil {
+		met.AddJobs(1)
+		met.JobStarted()
+	}
+	out, err := spec.Exec(s, spec.Attach{Metrics: met})
+	if met != nil {
+		met.JobDone(err != nil)
+	}
+	if err != nil {
+		return err
+	}
+	res := out.Stats
+	fmt.Printf("design=%s topology=%q workload=%s\n", s.Design, s.Topology, s.Workload)
 	fmt.Println(res)
 	if *verbose {
 		printVerbose(res)
 		printProviders(res)
 	}
-	if prof != nil {
-		fmt.Print(prof.Table(*topN))
+	if out.Profile != nil && *f.TopBranches > 0 {
+		fmt.Print(out.Profile.Table(*f.TopBranches))
 	}
-	if tracer != nil {
-		if err := writeEvents(*events, tracer); err != nil {
+	if *f.Events != "" {
+		if err := writeEvents(*f.Events, out.Events, out.EventsTotal); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeEvents exports the tracer's ring to path: Chrome trace_event JSON for
-// .json files (load in chrome://tracing or ui.perfetto.dev), the compact
-// binary format otherwise (dump/filter with cobra-events).
-func writeEvents(path string, tr *cobra.Tracer) error {
+// writeEvents exports the captured event trace to path: Chrome trace_event
+// JSON for .json files (load in chrome://tracing or ui.perfetto.dev), the
+// compact binary format otherwise (dump/filter with cobra-events).
+func writeEvents(path string, evs []obs.Event, total uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	evs := tr.Events()
 	if strings.HasSuffix(path, ".json") {
-		err = cobra.WriteChromeTrace(f, evs)
+		err = obs.WriteChrome(f, evs)
 	} else {
-		err = cobra.WriteBinaryEvents(f, evs)
+		err = obs.WriteBinary(f, evs)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -138,9 +127,9 @@ func writeEvents(path string, tr *cobra.Tracer) error {
 	if err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	if dropped := tr.Dropped(); dropped > 0 {
+	if total > uint64(len(evs)) {
 		fmt.Fprintf(os.Stderr, "events: ring overflowed; kept newest %d of %d (raise -events-buf)\n",
-			len(evs), tr.Total())
+			len(evs), total)
 	}
 	fmt.Fprintf(os.Stderr, "events: wrote %d records to %s\n", len(evs), path)
 	return nil
@@ -148,7 +137,7 @@ func writeEvents(path string, tr *cobra.Tracer) error {
 
 // printProviders reports which sub-component supplied the final direction
 // for committed branches (the provider hierarchy of §IV-A in action).
-func printProviders(res *cobra.Result) {
+func printProviders(res *stats.Sim) {
 	if len(res.ProviderHits) == 0 {
 		return
 	}
@@ -165,41 +154,7 @@ func printProviders(res *cobra.Result) {
 	fmt.Print(t)
 }
 
-func pickDesign(name, topology string, ghist uint, policy string) (cobra.Design, error) {
-	var pol cobra.GHRPolicy
-	switch policy {
-	case "repair":
-		pol = cobra.GHRRepair
-	case "replay":
-		pol = cobra.GHRRepairReplay
-	case "none":
-		pol = cobra.GHRNoRepair
-	default:
-		return cobra.Design{}, fmt.Errorf("unknown -policy %q (repair, replay, none)", policy)
-	}
-	if topology != "" {
-		return cobra.Design{
-			Name:     "custom",
-			Topology: topology,
-			Opt:      cobra.PipelineOptions{GHistBits: ghist, GHRPolicy: pol},
-		}, nil
-	}
-	var d cobra.Design
-	switch name {
-	case "tage-l":
-		d = cobra.TAGEL()
-	case "b2":
-		d = cobra.B2()
-	case "tourney":
-		d = cobra.Tourney()
-	default:
-		return cobra.Design{}, fmt.Errorf("unknown -design %q (tage-l, b2, tourney)", name)
-	}
-	d.Opt.GHRPolicy = pol
-	return d, nil
-}
-
-func printVerbose(res *cobra.Result) {
+func printVerbose(res *stats.Sim) {
 	t := &stats.Table{Headers: []string{"counter", "value"}}
 	t.AddRowf("cycles", res.Cycles)
 	t.AddRowf("instructions", res.Instructions)

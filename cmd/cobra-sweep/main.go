@@ -12,11 +12,13 @@
 //	cobra-sweep -tagesizes 512,1024,2048,4096 -workloads gcc -j 8
 //	cobra-sweep -designs -workloads all -keep-going -timeout 2m
 //
-// The (design × workload) grid fans out across -j worker goroutines
-// (default GOMAXPROCS); rows are emitted in grid order and are bit-identical
-// for every -j.  With -keep-going, a failing cell (panic, timeout, bad
-// config) is reported on stderr while every healthy cell still emits its
-// row; without it the first failure aborts the sweep.
+// Every cell of the (design × workload) grid is a canonical RunSpec — the
+// same object cobra-sim -spec runs and cobra-serve caches — fanned out
+// across -j worker goroutines (default GOMAXPROCS); rows are emitted in grid
+// order and are bit-identical for every -j.  With -keep-going, a failing
+// cell (panic, timeout, bad config) is reported on stderr while every
+// healthy cell still emits its row; without it the first failure aborts the
+// sweep.
 package main
 
 import (
@@ -31,98 +33,90 @@ import (
 
 	"cobra"
 	"cobra/internal/area"
+	"cobra/internal/cli"
 	"cobra/internal/runner"
+	"cobra/internal/spec"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-sweep:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-sweep", run) }
 
 func run() error {
+	f := cli.AddRunFlags(flag.CommandLine,
+		cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GTelemetry|cli.GProgress)
+	cli.SetDefault(flag.CommandLine, "insts", "300000")
 	var (
 		topologies = flag.String("topologies", "", "semicolon-separated topology strings")
 		designsF   = flag.Bool("designs", false, "sweep the three Table I designs")
 		tageSizes  = flag.String("tagesizes", "", "comma-separated TAGE row counts to sweep inside the TAGE-L topology")
-		workloadsF = flag.String("workloads", "dhrystone", "comma-separated workloads, or 'all' for the SPECint proxies")
-		insts      = flag.Uint64("insts", 300_000, "instructions per point")
-		seed       = flag.Uint64("seed", 42, "workload seed")
+		workloadsF = flag.String("workloads", "", "comma-separated workloads, or 'all' for the SPECint proxies (overrides -workload)")
 		ghist      = flag.Uint("ghist", 64, "global history bits for -topologies points")
-		host       = flag.String("host", "boom", "host core: boom (Table II) or inorder (scalar)")
 		jobsN      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
-		paranoid   = flag.Bool("paranoid", false, "arm the pipeline invariant checker on every point")
-		timeout    = flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 		keepGoing  = flag.Bool("keep-going", false, "report failed cells on stderr and keep sweeping instead of aborting")
-
-		progress  = flag.Duration("progress", 0, "print a runner status line to stderr at this period (0 = off)")
-		metricsF  = flag.String("metrics-addr", "", "serve live Prometheus-style metrics on this address")
-		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
 	)
 	flag.Parse()
 
-	var met *cobra.Metrics
-	if *metricsF != "" || *progress > 0 {
-		met = cobra.NewMetrics()
+	met, progress, closeTel, err := f.Telemetry("cobra-sweep")
+	if err != nil {
+		return err
 	}
-	if *metricsF != "" {
-		addr, closeMetrics, err := cobra.ServeMetrics(*metricsF, met)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
-		}
-		defer closeMetrics() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", addr)
-	}
-	if *pprofAddr != "" {
-		addr, closePprof, err := cobra.ServePprof(*pprofAddr)
-		if err != nil {
-			return fmt.Errorf("pprof listener: %w", err)
-		}
-		defer closePprof() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
-	}
+	defer closeTel()
 
-	var points []cobra.Design
+	type designPoint struct {
+		name     string
+		topology string
+		pl       spec.Pipeline
+	}
+	var points []designPoint
+	presets := func() ([]designPoint, error) {
+		var ps []designPoint
+		for _, name := range spec.PresetNames() {
+			p, err := spec.Preset(name)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, designPoint{p.Design, p.Topology, p.Pipeline})
+		}
+		return ps, nil
+	}
 	switch {
 	case *designsF:
-		points = cobra.Designs()
+		if points, err = presets(); err != nil {
+			return err
+		}
 	case *tageSizes != "":
 		for _, s := range strings.Split(*tageSizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n <= 0 {
 				return fmt.Errorf("bad -tagesizes entry %q", s)
 			}
-			points = append(points, cobra.Design{
-				Name:     fmt.Sprintf("tage-l-%d", n),
-				Topology: fmt.Sprintf("LOOP3 > TAGE3(%d) > BTB2 > BIM2 > UBTB1", n),
-				Opt:      cobra.PipelineOptions{GHistBits: 64},
+			points = append(points, designPoint{
+				name:     fmt.Sprintf("tage-l-%d", n),
+				topology: fmt.Sprintf("LOOP3 > TAGE3(%d) > BTB2 > BIM2 > UBTB1", n),
+				pl:       spec.Pipeline{GHistBits: 64},
 			})
 		}
 	case *topologies != "":
 		for i, topo := range strings.Split(*topologies, ";") {
-			points = append(points, cobra.Design{
-				Name:     fmt.Sprintf("t%d", i),
-				Topology: strings.TrimSpace(topo),
-				Opt:      cobra.PipelineOptions{GHistBits: *ghist},
+			points = append(points, designPoint{
+				name:     fmt.Sprintf("t%d", i),
+				topology: strings.TrimSpace(topo),
+				pl:       spec.Pipeline{GHistBits: *ghist},
 			})
 		}
 	default:
-		points = cobra.Designs()
+		if points, err = presets(); err != nil {
+			return err
+		}
 	}
 
 	var ws []string
-	if *workloadsF == "all" {
+	switch {
+	case *workloadsF == "all":
 		ws = cobra.Workloads()
-	} else {
+	case *workloadsF != "":
 		ws = strings.Split(*workloadsF, ",")
-	}
-
-	core := cobra.DefaultCoreConfig()
-	if *host == "inorder" {
-		core = cobra.InOrderCoreConfig()
-	} else if *host != "boom" {
-		return fmt.Errorf("unknown -host %q", *host)
+	default:
+		ws = []string{*f.Workload}
 	}
 
 	w := csv.NewWriter(os.Stdout)
@@ -143,14 +137,18 @@ func run() error {
 	statics := make([]static, len(points))
 	okDesign := make([]bool, len(points))
 	skippedCells := 0
-	for i, d := range points {
-		kb, err := d.StorageKB()
+	for i, p := range points {
+		opt, err := p.pl.Options()
 		if err == nil {
-			var bd cobra.Breakdown
-			if bd, err = cobra.PredictorArea(d); err == nil {
-				statics[i] = static{kb, bd.Total() / 1000}
-				okDesign[i] = true
-				continue
+			d := cobra.Design{Name: p.name, Topology: p.topology, Opt: opt}
+			var kb float64
+			if kb, err = d.StorageKB(); err == nil {
+				var bd cobra.Breakdown
+				if bd, err = cobra.PredictorArea(d); err == nil {
+					statics[i] = static{kb, bd.Total() / 1000}
+					okDesign[i] = true
+					continue
+				}
 			}
 		}
 		if !*keepGoing {
@@ -165,19 +163,26 @@ func run() error {
 		workload string
 	}
 	var grid []point
-	var jobs []runner.Sim
-	for di, d := range points {
+	var specs []*spec.RunSpec
+	for di, p := range points {
 		if !okDesign[di] {
 			continue
 		}
-		opt := d.Opt
-		opt.Paranoid = opt.Paranoid || *paranoid
 		for _, wl := range ws {
-			grid = append(grid, point{di, strings.TrimSpace(wl)})
-			jobs = append(jobs, runner.Sim{
-				Topology: d.Topology, Opt: opt,
-				Workload: strings.TrimSpace(wl),
-				Core:     core, Insts: *insts,
+			wl = strings.TrimSpace(wl)
+			grid = append(grid, point{di, wl})
+			specs = append(specs, &spec.RunSpec{
+				Design:          p.name,
+				Topology:        p.topology,
+				Pipeline:        p.pl,
+				Workload:        wl,
+				Seed:            *f.Seed,
+				Insts:           *f.Insts,
+				Warmup:          *f.Warmup,
+				Host:            *f.Host,
+				SerializedFetch: *f.Serialized,
+				SFB:             *f.SFB,
+				Paranoid:        *f.Paranoid,
 			})
 		}
 	}
@@ -186,13 +191,13 @@ func run() error {
 		policy = runner.CollectAll
 	}
 	ropt := runner.Options{
-		Workers: *jobsN, Seed: *seed, Policy: policy, Timeout: *timeout, Metrics: met,
+		Workers: *jobsN, Policy: policy, Timeout: *f.Timeout, Metrics: met,
 	}
-	if *progress > 0 {
+	if progress > 0 {
 		ropt.Progress = os.Stderr
-		ropt.ProgressEvery = *progress
+		ropt.ProgressEvery = progress
 	}
-	full, err := runner.RunFull(jobs, ropt)
+	full, err := runner.RunSpecs(specs, ropt)
 	var batch *runner.BatchError
 	if err != nil && !(errors.As(err, &batch) && *keepGoing) {
 		return err
@@ -208,20 +213,10 @@ func run() error {
 		if failed[i] {
 			continue
 		}
-		d, res := points[grid[i].design], r.Sim
-		if n := r.Pipeline.ViolationCount(); n > 0 {
-			msg := fmt.Sprintf("%d invariant violations (%q on %s); first: %v",
-				n, d.Topology, grid[i].workload, r.Pipeline.Violations()[0])
-			if !*keepGoing {
-				return errors.New(msg)
-			}
-			fmt.Fprintln(os.Stderr, "cobra-sweep:", msg)
-			failed[i] = true
-			continue
-		}
-		energy := area.Energy(r.Pipeline)
+		p, res := points[grid[i].design], r.Outcome.Stats
+		energy := area.Energy(r.Outcome.Pipeline)
 		w.Write([]string{
-			d.Name, d.Topology, grid[i].workload, *host,
+			p.name, p.topology, grid[i].workload, *f.Host,
 			fmt.Sprint(res.Instructions), fmt.Sprint(res.Cycles),
 			fmt.Sprintf("%.4f", res.IPC()),
 			fmt.Sprintf("%.3f", res.MPKI()),
@@ -235,7 +230,7 @@ func run() error {
 	if n := len(failed) + skippedCells; n > 0 {
 		w.Flush()
 		return fmt.Errorf("%d of %d points failed (successful rows emitted above)",
-			n, len(jobs)+skippedCells)
+			n, len(specs)+skippedCells)
 	}
 	return nil
 }

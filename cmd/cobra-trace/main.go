@@ -7,6 +7,7 @@
 //
 //	cobra-trace -capture -workload gcc -insts 2000000 -o gcc.cbrt
 //	cobra-trace -sim -design tage-l -i gcc.cbrt
+//	cobra-trace -sim -topology "GTAG3 > BTB2 > BIM2" -ghist 16 -i gcc.cbrt
 //	cobra-trace -capture -workload leela | cobra-trace -sim -design b2
 package main
 
@@ -14,76 +15,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"cobra"
+	"cobra/internal/cli"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "cobra-trace:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("cobra-trace", run) }
 
 func run() error {
+	f := cli.AddRunFlags(flag.CommandLine,
+		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GGuard)
+	cli.SetDefault(flag.CommandLine, "workload", "gcc")
 	var (
-		capture  = flag.Bool("capture", false, "capture a branch trace")
-		sim      = flag.Bool("sim", false, "run the trace-driven evaluator")
-		workload = flag.String("workload", "gcc", "workload to capture")
-		insts    = flag.Uint64("insts", 1_000_000, "instructions to capture")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		design   = flag.String("design", "tage-l", "design for -sim: tage-l, b2, tourney")
-		outPath  = flag.String("o", "", "output trace file (default stdout)")
-		inPath   = flag.String("i", "", "input trace file (default stdin)")
-		paranoid = flag.Bool("paranoid", false, "arm the pipeline invariant checker during -sim; violations fail the run")
-		timeout  = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
+		capture = flag.Bool("capture", false, "capture a branch trace")
+		sim     = flag.Bool("sim", false, "run the trace-driven evaluator")
+		outPath = flag.String("o", "", "output trace file (default stdout)")
+		inPath  = flag.String("i", "", "input trace file (default stdin)")
 	)
 	flag.Parse()
-	if *timeout > 0 {
-		time.AfterFunc(*timeout, func() {
-			fmt.Fprintf(os.Stderr, "cobra-trace: timeout after %v\n", *timeout)
-			os.Exit(1)
-		})
-	}
+	cli.ExitAfter("cobra-trace", *f.Timeout)
 	switch {
 	case *capture:
 		out := os.Stdout
 		if *outPath != "" {
-			f, err := os.Create(*outPath)
+			fl, err := os.Create(*outPath)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			out = f
+			defer fl.Close()
+			out = fl
 		}
-		n, err := cobra.CaptureTrace(out, *workload, *seed, *insts)
+		n, err := cobra.CaptureTrace(out, *f.Workload, *f.Seed, *f.Insts)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "cobra-trace: captured %d control-flow records from %s\n", n, *workload)
+		fmt.Fprintf(os.Stderr, "cobra-trace: captured %d control-flow records from %s\n", n, *f.Workload)
 	case *sim:
 		in := os.Stdin
 		if *inPath != "" {
-			f, err := os.Open(*inPath)
+			fl, err := os.Open(*inPath)
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			in = f
+			defer fl.Close()
+			in = fl
 		}
-		var d cobra.Design
-		switch *design {
-		case "tage-l":
-			d = cobra.TAGEL()
-		case "b2":
-			d = cobra.B2()
-		case "tourney":
-			d = cobra.Tourney()
-		default:
-			return fmt.Errorf("unknown design %q", *design)
+		s, err := f.Spec()
+		if err != nil {
+			return err
 		}
-		d.Opt.Paranoid = d.Opt.Paranoid || *paranoid
+		opt, err := s.Pipeline.Options()
+		if err != nil {
+			return err
+		}
+		opt.Paranoid = opt.Paranoid || *f.Paranoid
+		d := cobra.Design{Name: s.Design, Topology: s.Topology, Opt: opt}
 		res, err := cobra.TraceSim(d, in)
 		if err != nil {
 			return err

@@ -1,7 +1,6 @@
 package cobra
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/program"
+	"cobra/internal/spec"
 	"cobra/internal/stats"
 	"cobra/internal/trace"
 	"cobra/internal/uarch"
@@ -87,27 +87,43 @@ const (
 // ParseEventKind parses an event-kind name ("predict", "fire", ...).
 func ParseEventKind(s string) (EventKind, bool) { return obs.ParseKind(s) }
 
-// Observability constructors and exporters, re-exported from internal/obs.
-var (
-	// NewTracer returns a ring-buffered event tracer (capacity 0 = default).
-	NewTracer = obs.NewTracer
-	// NewBranchProfile returns an empty per-PC misprediction profile.
-	NewBranchProfile = obs.NewBranchProfile
-	// NewMetrics returns a live telemetry sink.
-	NewMetrics = obs.NewMetrics
-	// WriteChromeTrace writes events as Chrome trace_event JSON
-	// (chrome://tracing / Perfetto).
-	WriteChromeTrace = obs.WriteChrome
-	// WriteBinaryEvents writes events in the compact binary format read by
-	// cobra-events and ReadBinaryEvents.
-	WriteBinaryEvents = obs.WriteBinary
-	// ReadBinaryEvents reads a compact binary event stream.
-	ReadBinaryEvents = obs.ReadBinary
-	// ServeMetrics exposes a Metrics sink at addr (Prometheus text format).
-	ServeMetrics = obs.ServeMetrics
-	// ServePprof exposes net/http/pprof (profiles + runtime trace) at addr.
-	ServePprof = obs.ServePprof
-)
+// NewTracer returns a ring-buffered event tracer; capacity 0 means the
+// default (65536 events).  When the ring overflows, the oldest events are
+// dropped and Dropped()/Total() account for the loss.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewBranchProfile returns an empty per-PC misprediction profile; wire it in
+// via RunConfig.Profile (or Observe.Attribution in a Spec) and render the
+// hardest branches with its Table method.
+func NewBranchProfile() *BranchProfile { return obs.NewBranchProfile() }
+
+// NewMetrics returns a live telemetry sink with the uptime clock started;
+// all of its methods are safe for concurrent use.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// WriteChromeTrace writes events as Chrome trace_event JSON, loadable in
+// chrome://tracing or ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error { return obs.WriteChrome(w, events) }
+
+// WriteBinaryEvents writes events in the compact binary format read by
+// cobra-events and ReadBinaryEvents.
+func WriteBinaryEvents(w io.Writer, events []Event) error { return obs.WriteBinary(w, events) }
+
+// ReadBinaryEvents reads a compact binary event stream produced by
+// WriteBinaryEvents, validating its header and record framing.
+func ReadBinaryEvents(r io.Reader) ([]Event, error) { return obs.ReadBinary(r) }
+
+// ServeMetrics starts an HTTP listener on addr serving m's Prometheus text
+// exposition at / and /metrics.  It returns the bound address (useful with
+// ":0") and a closer that releases the port.
+func ServeMetrics(addr string, m *Metrics) (string, func() error, error) {
+	return obs.ServeMetrics(addr, m)
+}
+
+// ServePprof starts an HTTP listener on addr exposing net/http/pprof (CPU
+// and heap profiles, goroutine dumps, and the runtime execution tracer).  It
+// returns the bound address and a closer that releases the port.
+func ServePprof(addr string) (string, func() error, error) { return obs.ServePprof(addr) }
 
 // Injectable fault classes (see internal/faults for semantics).
 const (
@@ -140,41 +156,33 @@ type Design struct {
 	Opt      PipelineOptions
 }
 
+// preset materializes a spec.Preset design point as a Design; the preset
+// table is the single source of truth for Table I.
+func preset(name string) Design {
+	s, err := spec.Preset(name)
+	if err != nil {
+		panic(err) // built-in preset names never miss
+	}
+	opt, err := s.Pipeline.Options()
+	if err != nil {
+		panic(err)
+	}
+	return Design{Name: s.Design, Topology: s.Topology, Opt: opt}
+}
+
 // TAGEL is the paper's "TAGE-L" design (Table I): a 7-table TAGE with a
 // loop corrector over a BTB + bimodal base and a single-cycle micro-BTB;
 // 64-bit global history.
-func TAGEL() Design {
-	return Design{
-		Name:     "tage-l",
-		Topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
-		Opt:      PipelineOptions{GHistBits: 64},
-	}
-}
+func TAGEL() Design { return preset("tage-l") }
 
 // B2 is the original-BOOM-like design (Table I): one partially tagged
 // global table over a BTB + bimodal base; 16-bit global history.
-func B2() Design {
-	return Design{
-		Name:     "b2",
-		Topology: "GTAG3 > BTB2 > BIM2",
-		Opt:      PipelineOptions{GHistBits: 16},
-	}
-}
+func B2() Design { return preset("b2") }
 
 // Tourney is the Alpha-21264-like design (Table I): a global-history
 // selector choosing between global- and local-history counter tables, with
 // a BTB on the global side; 32-bit global and 256 x 32-bit local histories.
-func Tourney() Design {
-	return Design{
-		Name:     "tourney",
-		Topology: "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
-		Opt: PipelineOptions{
-			GHistBits:     32,
-			LocalEntries:  256,
-			LocalHistBits: 32,
-		},
-	}
-}
+func Tourney() Design { return preset("tourney") }
 
 // Designs returns the three evaluated designs in Table I order
 // (Tourney, B2, TAGE-L).
@@ -233,6 +241,41 @@ func CompileASM(name, src string) (*Program, error) {
 	return p, err
 }
 
+// Spec is the canonical, versioned, JSON-serializable description of one
+// full-core simulation (see internal/spec): the single run-request type the
+// library, the CLI tools, the parallel runner, and the cobra-serve daemon
+// all construct and consume.  Its Canonicalize, Validate, and Digest methods
+// normalize a spec and derive the content address that keys result caches.
+type Spec = spec.RunSpec
+
+// SpecOutcome is everything one Spec execution produced: counters, captured
+// events, and the attribution profile.
+type SpecOutcome = spec.Outcome
+
+// SpecVersion is the RunSpec schema version this build speaks.
+const SpecVersion = spec.Version
+
+// ParseSpec decodes a Spec from JSON, rejecting unknown fields.
+func ParseSpec(data []byte) (*Spec, error) { return spec.Parse(data) }
+
+// Spec returns the design point's canonical run spec for a workload, ready
+// to adjust (seed, budget, observers) and Run, serialize, or POST to a
+// cobra-serve daemon.
+func (d Design) Spec(workload string) *Spec {
+	return &Spec{
+		Design:   d.Name,
+		Topology: d.Topology,
+		Pipeline: spec.FromOptions(d.Opt),
+		Workload: workload,
+		Paranoid: d.Opt.Paranoid,
+	}
+}
+
+// RunSpec executes the simulation a spec describes and returns the full
+// outcome.  The spec is not mutated; callers that want the canonical form
+// that actually ran (for digests or provenance) should Canonicalize first.
+func RunSpec(s *Spec) (*SpecOutcome, error) { return spec.Exec(s, spec.Attach{}) }
+
 // RunConfig configures a full-core simulation.
 type RunConfig struct {
 	Design   Design
@@ -246,6 +289,8 @@ type RunConfig struct {
 	Paranoid bool
 	// Timeout, when > 0, aborts the simulation cooperatively once the
 	// wall-clock budget is spent, and Run returns the context error.
+	// Sub-millisecond values round down to no timeout (Spec.TimeoutMS is
+	// millisecond-grained).
 	Timeout time.Duration
 	// Observer, when non-nil, receives the cycle-level event stream
 	// (predict/fire/mispredict/repair/update plus frontend redirects and
@@ -258,54 +303,49 @@ type RunConfig struct {
 	Metrics *Metrics
 }
 
+// Spec extracts the serializable description of the run: everything that
+// determines the simulated result.  The process-local attachments (Observer,
+// Profile, Metrics) stay behind — they describe how this process watches the
+// run, not what the run is — as do the Design's non-serializable Wrap and
+// Observer hooks.
+func (rc RunConfig) Spec() *Spec {
+	s := &Spec{
+		Design:    rc.Design.Name,
+		Topology:  rc.Design.Topology,
+		Pipeline:  spec.FromOptions(rc.Design.Opt),
+		Workload:  rc.Workload,
+		Seed:      rc.Seed,
+		Insts:     rc.MaxInsts,
+		Paranoid:  rc.Paranoid || rc.Design.Opt.Paranoid,
+		TimeoutMS: rc.Timeout.Milliseconds(),
+	}
+	if rc.Core != nil {
+		core := *rc.Core
+		s.Core = &core
+	}
+	return s
+}
+
 // Run composes the design, attaches it to the core, runs the workload for
-// MaxInsts architectural instructions, and returns the counters.
+// MaxInsts architectural instructions, and returns the counters.  It is a
+// thin veneer over the canonical spec path: RunConfig splits into a Spec
+// (the serializable what-to-run) plus the process-local attachments, and
+// spec.Exec does the rest.
 func Run(rc RunConfig) (*Result, error) {
-	if rc.MaxInsts == 0 {
-		rc.MaxInsts = 1_000_000
+	observer := rc.Observer
+	if observer == nil {
+		observer = rc.Design.Opt.Observer
 	}
-	if rc.Seed == 0 {
-		rc.Seed = 42
-	}
-	rc.Design.Opt.Paranoid = rc.Design.Opt.Paranoid || rc.Paranoid
-	if rc.Observer != nil {
-		rc.Design.Opt.Observer = rc.Observer
-	}
-	bp, err := rc.Design.Build()
-	if err != nil {
-		return nil, fmt.Errorf("cobra: composing %s: %w", rc.Design.Name, err)
-	}
-	prog, err := workloads.Get(rc.Workload)
+	out, err := spec.Exec(rc.Spec(), spec.Attach{
+		Observer: observer,
+		Profile:  rc.Profile,
+		Metrics:  rc.Metrics,
+		Wrap:     rc.Design.Opt.Wrap,
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg := uarch.DefaultConfig()
-	if rc.Core != nil {
-		cfg = *rc.Core
-	}
-	core := uarch.NewCore(cfg, bp, prog, rc.Seed)
-	if rc.Profile != nil {
-		core.SetBranchProfile(rc.Profile)
-	}
-	if rc.Metrics != nil {
-		core.SetMetrics(rc.Metrics)
-	}
-	var ctx context.Context
-	if rc.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(context.Background(), rc.Timeout)
-		defer cancel()
-		core.SetContext(ctx)
-	}
-	res := core.Run(rc.MaxInsts)
-	if ctx != nil && ctx.Err() != nil {
-		return nil, fmt.Errorf("cobra: %s on %s: %w (after %d committed instructions)",
-			rc.Design.Name, rc.Workload, ctx.Err(), res.Instructions)
-	}
-	if n := bp.ViolationCount(); n > 0 {
-		return nil, fmt.Errorf("cobra: %d invariant violations; first: %w", n, bp.Violations()[0])
-	}
-	return res, nil
+	return out.Stats, nil
 }
 
 // NewCore assembles a core around an already-composed pipeline and program

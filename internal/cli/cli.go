@@ -1,0 +1,308 @@
+// Package cli is the shared flag surface of the cobra command-line tools.
+// Every tool used to re-invent the same wiring — design/topology selection,
+// instruction budgets, -paranoid, -timeout, the observability trio
+// (-metrics-addr, -pprof-addr, -progress), event capture — each with its own
+// drift.  Here the flags are declared once, grouped, and parsed straight
+// into the canonical spec.RunSpec, so "what a tool runs" and "what a server
+// is asked to run" are the same serializable object.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cobra/internal/obs"
+	"cobra/internal/spec"
+)
+
+// Groups selects which flag groups a tool registers.
+type Groups uint
+
+const (
+	// GDesign registers -design/-topology/-ghist/-policy.
+	GDesign Groups = 1 << iota
+	// GWorkload registers -workload.
+	GWorkload
+	// GBudget registers -insts/-warmup/-seed.
+	GBudget
+	// GHost registers -host/-serialized/-sfb.
+	GHost
+	// GGuard registers -paranoid/-timeout.
+	GGuard
+	// GFaults registers -faults/-fault-period/-fault-seed/-fault-comps.
+	GFaults
+	// GEvents registers -events/-events-buf/-top-branches.
+	GEvents
+	// GTelemetry registers -metrics-addr/-pprof-addr.
+	GTelemetry
+	// GProgress registers -progress (the periodic runner status line).
+	GProgress
+)
+
+// RunFlags holds the registered run-shaping flags.  Fields for groups a tool
+// did not register stay nil and contribute their zero value to the spec.
+type RunFlags struct {
+	Design   *string
+	Topology *string
+	GHist    *uint
+	Policy   *string
+
+	Workload *string
+
+	Insts  *uint64
+	Warmup *uint64
+	Seed   *uint64
+
+	Host       *string
+	Serialized *bool
+	SFB        *bool
+
+	Paranoid *bool
+	Timeout  *time.Duration
+
+	Faults      *string
+	FaultPeriod *uint64
+	FaultSeed   *uint64
+	FaultComps  *string
+
+	Events      *string
+	EventsBuf   *int
+	TopBranches *int
+
+	MetricsAddr *string
+	PprofAddr   *string
+	Progress    *time.Duration
+}
+
+// AddRunFlags registers the selected groups on fs (pass flag.CommandLine for
+// a tool's top level) and returns the handle that later builds the RunSpec.
+func AddRunFlags(fs *flag.FlagSet, g Groups) *RunFlags {
+	f := &RunFlags{}
+	if g&GDesign != 0 {
+		f.Design = fs.String("design", "tage-l", "paper design: tage-l, b2, tourney (ignored with -topology)")
+		f.Topology = fs.String("topology", "", "explicit topology string, e.g. \"GTAG3 > BTB2 > BIM2\"")
+		f.GHist = fs.Uint("ghist", 64, "global history bits (with -topology)")
+		f.Policy = fs.String("policy", "repair", "GHR policy: repair, replay, none (§VI-B)")
+	}
+	if g&GWorkload != 0 {
+		f.Workload = fs.String("workload", "dhrystone", "workload name (SPECint proxy, dhrystone, coremark, or an ISA kernel)")
+	}
+	if g&GBudget != 0 {
+		f.Insts = fs.Uint64("insts", spec.DefaultInsts, "architectural instructions to simulate")
+		f.Warmup = fs.Uint64("warmup", 0, "instructions discarded before measurement")
+		f.Seed = fs.Uint64("seed", spec.DefaultSeed, "workload seed")
+	}
+	if g&GHost != 0 {
+		f.Host = fs.String("host", "boom", "host core: boom (Table II) or inorder (scalar)")
+		f.Serialized = fs.Bool("serialized", false, "serialize fetch behind branches (§II-A)")
+		f.SFB = fs.Bool("sfb", false, "enable short-forwards-branch predication (§VI-C)")
+	}
+	if g&GGuard != 0 {
+		f.Paranoid = fs.Bool("paranoid", false, "arm the pipeline invariant checker; violations fail the run")
+		f.Timeout = fs.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
+	}
+	if g&GFaults != 0 {
+		f.Faults = fs.String("faults", "", "fault kinds to inject (comma-separated, or 'all'; empty = none)")
+		f.FaultPeriod = fs.Uint64("fault-period", 0, "mean fault-injection interval in opportunities (0 = off)")
+		f.FaultSeed = fs.Uint64("fault-seed", 1, "fault-injection decision-stream seed")
+		f.FaultComps = fs.String("fault-comps", "", "restrict injection to these component instances (comma-separated)")
+	}
+	if g&GEvents != 0 {
+		f.Events = fs.String("events", "", "capture the cycle-level event trace to this file (.json = Chrome trace_event for Perfetto, otherwise compact binary for cobra-events)")
+		f.EventsBuf = fs.Int("events-buf", 0, "event ring-buffer capacity (0 = default 65536; older events are dropped)")
+		f.TopBranches = fs.Int("top-branches", 0, "print the H2P table of the N hardest-to-predict branches")
+	}
+	if g&GTelemetry != 0 {
+		f.MetricsAddr = fs.String("metrics-addr", "", "serve live Prometheus-style metrics on this address (e.g. 127.0.0.1:9090)")
+		f.PprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
+	}
+	if g&GProgress != 0 {
+		f.Progress = fs.Duration("progress", 0, "print a runner status line to stderr at this period (0 = off)")
+	}
+	return f
+}
+
+// SetDefault overrides a registered flag's default before Parse — tools with
+// grid-shaped work (many points per invocation) use smaller per-point budgets
+// than the single-run tools.  Panics on an unknown flag or unparsable value:
+// both are programming errors in the tool, not user input.
+func SetDefault(fs *flag.FlagSet, name, value string) {
+	fl := fs.Lookup(name)
+	if fl == nil {
+		panic("cli: SetDefault on unregistered flag -" + name)
+	}
+	if err := fl.Value.Set(value); err != nil {
+		panic("cli: SetDefault(-" + name + ", " + value + "): " + err.Error())
+	}
+	fl.DefValue = value
+}
+
+func str(p *string) string {
+	if p == nil {
+		return ""
+	}
+	return *p
+}
+
+// Spec assembles the RunSpec the parsed flags describe: the Table I preset
+// named by -design (or the explicit -topology with -ghist/-policy applied),
+// the workload, budgets, host toggles, guard settings, fault plan, and
+// observer configuration.  It does not canonicalize; callers that need the
+// digest or defaults made explicit do that next.
+func (f *RunFlags) Spec() (*spec.RunSpec, error) {
+	s := &spec.RunSpec{}
+	if f.Design != nil {
+		if topo := str(f.Topology); topo != "" {
+			s.Design = "custom"
+			s.Topology = topo
+			if f.GHist != nil {
+				s.Pipeline.GHistBits = *f.GHist
+			}
+		} else {
+			d, err := Preset(*f.Design)
+			if err != nil {
+				return nil, err
+			}
+			*s = *d
+		}
+		if f.Policy != nil {
+			switch *f.Policy {
+			case "repair", "replay", "none":
+				s.Pipeline.GHRPolicy = *f.Policy
+			default:
+				return nil, fmt.Errorf("unknown -policy %q (repair, replay, none)", *f.Policy)
+			}
+		}
+	}
+	if f.Workload != nil {
+		s.Workload = *f.Workload
+	}
+	if f.Insts != nil {
+		s.Insts = *f.Insts
+	}
+	if f.Warmup != nil {
+		s.Warmup = *f.Warmup
+	}
+	if f.Seed != nil {
+		s.Seed = *f.Seed
+	}
+	if f.Host != nil {
+		switch *f.Host {
+		case "boom", "inorder":
+			s.Host = *f.Host
+		default:
+			return nil, fmt.Errorf("unknown -host %q (boom, inorder)", *f.Host)
+		}
+		s.SerializedFetch = *f.Serialized
+		s.SFB = *f.SFB
+	}
+	if f.Paranoid != nil {
+		s.Paranoid = s.Paranoid || *f.Paranoid
+	}
+	if f.Timeout != nil && *f.Timeout > 0 {
+		s.TimeoutMS = f.Timeout.Milliseconds()
+		if s.TimeoutMS == 0 {
+			s.TimeoutMS = 1 // sub-millisecond budgets still time out
+		}
+	}
+	if f.Faults != nil && (*f.Faults != "" || *f.FaultPeriod > 0) {
+		if *f.Faults == "" || *f.FaultPeriod == 0 {
+			return nil, fmt.Errorf("fault injection needs both -faults and -fault-period")
+		}
+		s.Faults = &spec.FaultPlan{
+			Seed:   *f.FaultSeed,
+			Period: *f.FaultPeriod,
+			Kinds:  strings.Split(*f.Faults, ","),
+		}
+		if cs := str(f.FaultComps); cs != "" {
+			s.Faults.Components = strings.Split(cs, ",")
+		}
+	}
+	if f.Events != nil && *f.Events != "" {
+		s.Observe.Events = true
+		s.Observe.EventsBuf = *f.EventsBuf
+	}
+	if f.TopBranches != nil && *f.TopBranches > 0 {
+		s.Observe.Attribution = true
+	}
+	return s, nil
+}
+
+// Preset returns the named Table I design point as a spec (see spec.Preset).
+func Preset(name string) (*spec.RunSpec, error) { return spec.Preset(name) }
+
+// Telemetry wires the -metrics-addr/-pprof-addr/-progress flags: it creates
+// a metrics sink when anything needs one, starts the listeners, and returns
+// the sink (possibly nil), the progress period (0 = off), and a closer that
+// releases the listeners.  Endpoint addresses are announced on stderr.
+func (f *RunFlags) Telemetry(tool string) (*obs.Metrics, time.Duration, func(), error) {
+	var (
+		met      *obs.Metrics
+		progress time.Duration
+		closers  []func() error
+	)
+	closeAll := func() {
+		for _, c := range closers {
+			c() //nolint:errcheck
+		}
+	}
+	if f.Progress != nil {
+		progress = *f.Progress
+	}
+	if progress > 0 || str(f.MetricsAddr) != "" {
+		met = obs.NewMetrics()
+	}
+	if addr := str(f.MetricsAddr); addr != "" {
+		bound, close, err := obs.ServeMetrics(addr, met)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		closers = append(closers, close)
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+	}
+	if addr := str(f.PprofAddr); addr != "" {
+		bound, close, err := obs.ServePprof(addr)
+		if err != nil {
+			closeAll()
+			return nil, 0, nil, fmt.Errorf("pprof listener: %w", err)
+		}
+		closers = append(closers, close)
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
+	_ = tool
+	return met, progress, closeAll, nil
+}
+
+// Main wraps a tool's entry point with the shared error convention:
+// "tool: error" on stderr and exit status 1.
+func Main(tool string, run func() error) {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, tool+":", err)
+		os.Exit(1)
+	}
+}
+
+// ExitAfter arms the hard wall-clock guard used by tools without a
+// cooperative cancellation path: after d the process reports the timeout and
+// exits non-zero.  A zero or negative d is a no-op.
+func ExitAfter(tool string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.AfterFunc(d, func() {
+		fmt.Fprintf(os.Stderr, "%s: timeout after %v\n", tool, d)
+		os.Exit(1)
+	})
+}
+
+// LoadSpec reads and parses a RunSpec JSON file.
+func LoadSpec(path string) (*spec.RunSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Parse(data)
+}

@@ -279,23 +279,24 @@ func (j Sim) safeRun(ctx context.Context, seed uint64, met *obs.Metrics) (res Re
 	return j.run(ctx, seed, met)
 }
 
-// RunFull executes jobs across workers and returns results in submission
-// order.  Failures are reported per Options.Policy: FailFast cancels the
-// rest of the batch and returns (nil, *JobError) for the root cause;
-// CollectAll runs everything and returns the successful results alongside a
-// *BatchError (failed jobs leave zero Results at their index).
-func RunFull(jobs []Sim, opt Options) ([]Result, error) {
+// batch is the scaffolding shared by RunFull and RunSpecs: the cancellable
+// batch context, per-job timeout contexts, metrics accounting, the progress
+// reporter, and policy-driven error collection.  exec runs one job; describe
+// labels a failed one for its JobError.  Failed indices hold zero T.
+func batch[T any](n int, opt Options,
+	describe func(int) (topology, workload string),
+	exec func(ctx context.Context, i int, met *obs.Metrics) (T, error)) ([]T, error) {
 	base := opt.Ctx
 	if base == nil {
 		base = context.Background()
 	}
-	batch, cancel := context.WithCancel(base)
+	bctx, cancel := context.WithCancel(base)
 	defer cancel()
 	met := opt.Metrics
 	if met == nil && opt.Progress != nil {
 		met = obs.NewMetrics() // progress reporting needs a counter sink
 	}
-	met.AddJobs(len(jobs))
+	met.AddJobs(n)
 	if opt.Progress != nil {
 		every := opt.ProgressEvery
 		if every <= 0 {
@@ -321,19 +322,17 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 		defer func() { close(done); <-idle }()
 	}
 	type slot struct {
-		res Result
+		res T
 		err error
 	}
-	rs := Map(opt.Workers, len(jobs), func(i int) slot {
-		ctx := batch
+	rs := Map(opt.Workers, n, func(i int) slot {
+		ctx := bctx
 		stop := context.CancelFunc(func() {})
 		if opt.Timeout > 0 {
-			ctx, stop = context.WithTimeout(batch, opt.Timeout)
+			ctx, stop = context.WithTimeout(bctx, opt.Timeout)
 		}
 		met.JobStarted()
-		begin := time.Now()
-		res, err := jobs[i].safeRun(ctx, Derive(opt.Seed, uint64(i)), met)
-		res.Wall = time.Since(begin)
+		res, err := exec(ctx, i, met)
 		stop()
 		met.JobDone(err != nil)
 		if err != nil && opt.Policy == FailFast {
@@ -341,16 +340,12 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 		}
 		return slot{res, err}
 	})
-	out := make([]Result, len(jobs))
+	out := make([]T, n)
 	var errs []*JobError
 	for i, r := range rs {
 		if r.err != nil {
-			errs = append(errs, &JobError{
-				Index:    i,
-				Topology: jobs[i].Topology,
-				Workload: jobs[i].describeWorkload(),
-				Err:      r.err,
-			})
+			topo, wl := describe(i)
+			errs = append(errs, &JobError{Index: i, Topology: topo, Workload: wl, Err: r.err})
 			continue
 		}
 		out[i] = r.res
@@ -359,7 +354,7 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 		return out, nil
 	}
 	if opt.Policy == CollectAll {
-		return out, &BatchError{Total: len(jobs), Errs: errs}
+		return out, &BatchError{Total: n, Errs: errs}
 	}
 	// FailFast: return the root cause, not the cancellation cascade it
 	// triggered in later-draining jobs.
@@ -369,6 +364,23 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 		}
 	}
 	return nil, errs[0]
+}
+
+// RunFull executes jobs across workers and returns results in submission
+// order.  Failures are reported per Options.Policy: FailFast cancels the
+// rest of the batch and returns (nil, *JobError) for the root cause;
+// CollectAll runs everything and returns the successful results alongside a
+// *BatchError (failed jobs leave zero Results at their index).
+func RunFull(jobs []Sim, opt Options) ([]Result, error) {
+	out, err := batch(len(jobs), opt,
+		func(i int) (string, string) { return jobs[i].Topology, jobs[i].describeWorkload() },
+		func(ctx context.Context, i int, met *obs.Metrics) (Result, error) {
+			begin := time.Now()
+			res, rerr := jobs[i].safeRun(ctx, Derive(opt.Seed, uint64(i)), met)
+			res.Wall = time.Since(begin)
+			return res, rerr
+		})
+	return out, err
 }
 
 // Run is RunFull without the pipeline handles — the common case.  Under

@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"context"
+	"runtime/debug"
+	"time"
+
+	"cobra/internal/obs"
+	"cobra/internal/spec"
+)
+
+// SpecResult pairs one spec's execution outcome with runner bookkeeping.
+type SpecResult struct {
+	// Spec is the canonical form that actually ran (defaults explicit,
+	// workload hash pinned) — the form whose Digest keys result caches.
+	Spec *spec.RunSpec
+	// Outcome carries the counters, pipeline handle, captured events, and
+	// attribution profile.
+	Outcome *spec.Outcome
+	// Wall is the job's wall-clock run time (telemetry only).
+	Wall time.Duration
+}
+
+// FromSim converts a batch job into the canonical spec it describes, for
+// callers that assemble jobs programmatically but want spec digests (cache
+// keys, provenance records).  Jobs with a pre-built Prog have no workload
+// reference and are not convertible.
+func FromSim(j Sim, seed uint64) (*spec.RunSpec, error) {
+	s := &spec.RunSpec{
+		Topology: j.Topology,
+		Pipeline: spec.FromOptions(j.Opt),
+		Workload: j.Workload,
+		Seed:     seed,
+		Insts:    j.Insts,
+		Warmup:   j.Warmup,
+		Core:     &j.Core,
+		Paranoid: j.Opt.Paranoid,
+		Observe:  spec.Observe{Attribution: j.Attribution},
+	}
+	if err := s.Canonicalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RunSpecs executes the canonical run each spec describes, fanned out across
+// opt.Workers with the same deterministic merge, panic containment, metrics
+// accounting, and failure policies as RunFull.  Unlike RunFull — whose jobs
+// derive per-index seeds from opt.Seed — every spec runs with its *own* seed,
+// so each result is bit-identical to a direct cobra-sim/cobra.Run of the
+// same spec; opt.Seed is ignored.  Specs are not mutated: each job runs its
+// canonical copy, returned in SpecResult.Spec.
+func RunSpecs(specs []*spec.RunSpec, opt Options) ([]SpecResult, error) {
+	return batch(len(specs), opt,
+		func(i int) (string, string) { return specs[i].Topology, "workload " + specs[i].Workload },
+		func(ctx context.Context, i int, met *obs.Metrics) (SpecResult, error) {
+			begin := time.Now()
+			res, err := safeExec(ctx, specs[i], met)
+			res.Wall = time.Since(begin)
+			return res, err
+		})
+}
+
+// safeExec is spec.Exec behind the runner's recover boundary: a panicking
+// job becomes a *PanicError instead of killing the process.
+func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics) (res SpecResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return SpecResult{}, err // batch already cancelled; don't start
+	}
+	c, err := s.Canonical()
+	if err != nil {
+		return SpecResult{}, err
+	}
+	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr // report the cancellation, not its downstream wrapping
+		}
+		return SpecResult{}, err
+	}
+	return SpecResult{Spec: c, Outcome: out}, nil
+}

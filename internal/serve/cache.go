@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// digestRE is the only key shape the cache accepts.  Keys come back in from
+// URLs, so anything else must be rejected before it reaches a file path.
+var digestRE = regexp.MustCompile(`^sha256:[0-9a-f]{64}$`)
+
+// validDigest reports whether id is a well-formed spec digest.
+func validDigest(id string) bool { return digestRE.MatchString(id) }
+
+// cache is the content-addressed result store: an in-memory LRU over the
+// marshaled result bytes, optionally backed by an on-disk directory that
+// survives restarts.  Values are stored and returned as the exact bytes of
+// the first computation, so a cache hit is byte-identical to the original
+// response.  Safe for concurrent use.
+type cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	dir   string // "" = memory only
+}
+
+type centry struct {
+	key string
+	val []byte
+}
+
+func newCache(max int, dir string) *cache {
+	return &cache{max: max, ll: list.New(), items: make(map[string]*list.Element), dir: dir}
+}
+
+// get returns the stored bytes for key, consulting memory first and then the
+// disk store (promoting a disk hit back into memory).
+func (c *cache) get(key string) ([]byte, bool) {
+	if !validDigest(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*centry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	val, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	c.putMem(key, val)
+	return val, true
+}
+
+// put stores the bytes in memory and, when configured, on disk.  Disk write
+// failures are ignored: the store is an optimization, not a ledger.
+func (c *cache) put(key string, val []byte) {
+	if !validDigest(key) {
+		return
+	}
+	c.putMem(key, val)
+	if c.dir == "" {
+		return
+	}
+	// Atomic publish so a concurrent reader never sees a torn file.
+	tmp, err := os.CreateTemp(c.dir, ".result-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(val); err == nil && tmp.Close() == nil {
+		os.Rename(tmp.Name(), c.path(key)) //nolint:errcheck
+		return
+	}
+	tmp.Close()           //nolint:errcheck
+	os.Remove(tmp.Name()) //nolint:errcheck
+}
+
+func (c *cache) putMem(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*centry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&centry{key, val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*centry).key)
+	}
+}
+
+// len reports the number of in-memory entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *cache) path(key string) string {
+	return filepath.Join(c.dir, key[len("sha256:"):]+".json")
+}

@@ -1,0 +1,380 @@
+// Package serve is the simulation-as-a-service layer: a long-lived HTTP
+// daemon that accepts canonical RunSpecs, executes them on a bounded worker
+// pool via the parallel runner, and memoizes results in a content-addressed
+// cache keyed by the spec digest.  Because the digest covers everything that
+// determines a run's outcome (topology, workload hash, seed, budgets, host,
+// fault plan), a cache hit is byte-identical to recomputing — the service
+// returns the stored bytes of the first execution verbatim.
+//
+// The API surface:
+//
+//	POST /v1/runs             submit a RunSpec (JSON body) → 200 done (cache
+//	                          hit), 202 accepted (queued/running; identical
+//	                          in-flight specs coalesce), 429 queue full,
+//	                          503 draining
+//	GET  /v1/runs/{id}        status/result by digest
+//	GET  /v1/runs/{id}/events captured event trace of a finished run
+//	GET  /healthz             liveness + queue depth
+//	GET  /metrics             Prometheus text exposition (obs.Metrics)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cobra/internal/obs"
+	"cobra/internal/runner"
+	"cobra/internal/spec"
+	"cobra/internal/stats"
+)
+
+// Config shapes a Server.  Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueLen bounds the pending-job queue; a full queue answers 429 with
+	// Retry-After (default 64).
+	QueueLen int
+	// CacheEntries bounds the in-memory result LRU (default 256).
+	CacheEntries int
+	// CacheDir, when non-empty, persists results on disk so the cache
+	// survives restarts.  The directory must exist.
+	CacheDir string
+	// JobTimeout caps each job's wall-clock time on top of whatever the
+	// spec's own timeout_ms asks for (0 = none).
+	JobTimeout time.Duration
+	// Metrics receives job and cycle accounting; nil creates a fresh sink.
+	Metrics *obs.Metrics
+	// Log receives one line per job transition; nil discards.
+	Log *log.Logger
+}
+
+// Result is the stored outcome of one run — the unit the cache holds and
+// POST/GET hand back under "result".
+type Result struct {
+	Spec        *spec.RunSpec `json:"spec"`
+	Digest      string        `json:"digest"`
+	Stats       *stats.Sim    `json:"stats"`
+	Events      []obs.Event   `json:"events,omitempty"`
+	EventsTotal uint64        `json:"events_total,omitempty"`
+	// WallMS is the wall-clock time of the original computation; replays
+	// from cache return it unchanged (responses are byte-identical).
+	WallMS int64 `json:"wall_ms"`
+}
+
+// job is one submitted spec moving through the queue.
+type job struct {
+	spec    *spec.RunSpec // canonical
+	digest  string
+	started atomic.Bool
+	done    chan struct{}
+}
+
+// Server is the daemon state: worker pool, bounded queue, in-flight dedup
+// table, and the result cache.
+type Server struct {
+	cfg Config
+	met *obs.Metrics
+	log *log.Logger
+
+	queue   chan *job
+	wg      sync.WaitGroup
+	results *cache
+
+	mu        sync.Mutex
+	draining  bool
+	jobs      map[string]*job   // digest → in-flight job (the singleflight table)
+	failures  map[string]string // digest → error of the most recent failed run
+	failOrder []string          // FIFO bound on failures
+}
+
+// New builds a Server; call Start to launch the workers and Handler to mount
+// the API.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		cfg:      cfg,
+		met:      cfg.Metrics,
+		log:      cfg.Log,
+		queue:    make(chan *job, cfg.QueueLen),
+		results:  newCache(cfg.CacheEntries, cfg.CacheDir),
+		jobs:     make(map[string]*job),
+		failures: make(map[string]string),
+	}
+}
+
+// Metrics returns the server's telemetry sink.
+func (s *Server) Metrics() *obs.Metrics { return s.met }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown drains the server: no new submissions are accepted, queued jobs
+// run to completion, and Shutdown returns when the last worker is idle — or
+// when ctx expires, in which case queued-but-unstarted work is abandoned and
+// ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one spec through the parallel runner (panic containment,
+// per-job timeout, metrics accounting) and publishes the outcome.
+func (s *Server) runJob(j *job) {
+	j.started.Store(true)
+	begin := time.Now()
+	res, err := runner.RunSpecs([]*spec.RunSpec{j.spec}, runner.Options{
+		Workers: 1, Policy: runner.FailFast, Timeout: s.cfg.JobTimeout, Metrics: s.met,
+	})
+	if err == nil {
+		out := res[0].Outcome
+		data, merr := json.Marshal(Result{
+			Spec:        res[0].Spec,
+			Digest:      j.digest,
+			Stats:       out.Stats,
+			Events:      out.Events,
+			EventsTotal: out.EventsTotal,
+			WallMS:      time.Since(begin).Milliseconds(),
+		})
+		if merr != nil {
+			err = merr
+		} else {
+			s.results.put(j.digest, data)
+		}
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.recordFailureLocked(j.digest, err.Error())
+	}
+	delete(s.jobs, j.digest)
+	s.mu.Unlock()
+	close(j.done)
+	if err != nil {
+		s.log.Printf("run %s failed after %v: %v", j.digest, time.Since(begin).Truncate(time.Millisecond), err)
+	} else {
+		s.log.Printf("run %s done in %v", j.digest, time.Since(begin).Truncate(time.Millisecond))
+	}
+}
+
+// recordFailureLocked remembers a failed digest (bounded FIFO) so GET can
+// report what went wrong; failures are never served from cache.
+func (s *Server) recordFailureLocked(digest, msg string) {
+	if _, ok := s.failures[digest]; !ok {
+		s.failOrder = append(s.failOrder, digest)
+		for len(s.failOrder) > 128 {
+			delete(s.failures, s.failOrder[0])
+			s.failOrder = s.failOrder[1:]
+		}
+	}
+	s.failures[digest] = msg
+}
+
+// Handler mounts the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// runStatus is the envelope every /v1/runs response uses.
+type runStatus struct {
+	Digest string          `json:"digest"`
+	Status string          `json:"status"` // queued, running, done, failed
+	Cached bool            `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if err := sp.Canonicalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	digest, err := sp.Digest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if raw, ok := s.results.get(digest); ok {
+		writeJSON(w, http.StatusOK, runStatus{Digest: digest, Status: "done", Cached: true, Result: raw})
+		return
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[digest]; ok {
+		// Identical spec already in flight: coalesce instead of re-running.
+		status := statusOf(j)
+		s.mu.Unlock()
+		w.Header().Set("Location", "/v1/runs/"+digest)
+		writeJSON(w, http.StatusAccepted, runStatus{Digest: digest, Status: status})
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	j := &job{spec: sp, digest: digest, done: make(chan struct{})}
+	select {
+	case s.queue <- j:
+		s.jobs[digest] = j
+		delete(s.failures, digest) // a resubmission supersedes an old failure
+		s.mu.Unlock()
+		s.log.Printf("run %s queued (%s on %s, %d insts)", digest, sp.Topology, sp.Workload, sp.Insts)
+		w.Header().Set("Location", "/v1/runs/"+digest)
+		writeJSON(w, http.StatusAccepted, runStatus{Digest: digest, Status: "queued"})
+	default:
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d pending)", s.cfg.QueueLen)
+	}
+}
+
+func statusOf(j *job) string {
+	if j.started.Load() {
+		return "running"
+	}
+	return "queued"
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validDigest(id) {
+		writeError(w, http.StatusBadRequest, "malformed digest %q", id)
+		return
+	}
+	s.mu.Lock()
+	j, inflight := s.jobs[id]
+	failMsg, failed := s.failures[id]
+	s.mu.Unlock()
+	if inflight {
+		writeJSON(w, http.StatusOK, runStatus{Digest: id, Status: statusOf(j)})
+		return
+	}
+	if raw, ok := s.results.get(id); ok {
+		writeJSON(w, http.StatusOK, runStatus{Digest: id, Status: "done", Cached: true, Result: raw})
+		return
+	}
+	if failed {
+		writeJSON(w, http.StatusOK, runStatus{Digest: id, Status: "failed", Error: failMsg})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown run %s", id)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validDigest(id) {
+		writeError(w, http.StatusBadRequest, "malformed digest %q", id)
+		return
+	}
+	raw, ok := s.results.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no finished run %s", id)
+		return
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		writeError(w, http.StatusInternalServerError, "corrupt result: %v", err)
+		return
+	}
+	if !res.Spec.Observe.Events {
+		writeError(w, http.StatusNotFound, "run %s did not capture events (set observe.events)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"digest": id, "events_total": res.EventsTotal, "events": res.Events,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	inflight := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"queued":   len(s.queue),
+		"inflight": inflight,
+		"workers":  s.cfg.Workers,
+		"cached":   s.results.len(),
+		"draining": draining,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.met.Expo())
+}

@@ -1,0 +1,159 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+
+	"cobra/internal/compose"
+	"cobra/internal/faults"
+	"cobra/internal/obs"
+	"cobra/internal/pred"
+	"cobra/internal/stats"
+	"cobra/internal/uarch"
+	"cobra/internal/workloads"
+)
+
+// Attach carries the process-local, non-serializable hooks a caller may wire
+// into one execution: live sinks and decorators that describe *how this
+// process watches the run*, never *what the run is* — which is why they live
+// here and not in the RunSpec (and therefore never perturb the digest).
+type Attach struct {
+	// Observer receives the cycle-level event stream.  When nil and the
+	// spec's Observe.Events is set, Exec creates a ring-buffered tracer and
+	// returns its contents in the Outcome.
+	Observer obs.Observer
+	// Profile, when non-nil, accumulates per-PC misprediction attribution
+	// into the caller's profile; otherwise Observe.Attribution makes Exec
+	// allocate one and return it.
+	Profile *obs.BranchProfile
+	// Metrics, when non-nil, receives live cycle/instruction telemetry.
+	Metrics *obs.Metrics
+	// Ctx, when non-nil, cancels the run cooperatively; the spec's own
+	// TimeoutMS is layered on top.
+	Ctx context.Context
+	// Wrap decorates every instantiated sub-component (composed with the
+	// spec's fault plan when both are present; the caller's wrapper runs
+	// innermost).
+	Wrap func(pred.Subcomponent) pred.Subcomponent
+	// OnFault observes every fault the spec's plan injects.
+	OnFault func(faults.Record)
+}
+
+// Outcome is everything one execution produced.
+type Outcome struct {
+	Stats    *stats.Sim
+	Pipeline *compose.Pipeline
+	// Events holds the captured cycle-level trace when the spec asked for
+	// one (Observe.Events) and the caller did not supply its own Observer.
+	Events []obs.Event
+	// EventsTotal counts every emitted event; when it exceeds len(Events)
+	// the ring overflowed and only the newest records were kept.
+	EventsTotal uint64
+	// Profile is the per-PC attribution profile: the caller's, or a fresh
+	// one when Observe.Attribution asked for it.
+	Profile *obs.BranchProfile
+}
+
+// Exec runs the simulation a spec describes.  It is the one execution path
+// behind cobra.Run, runner.RunSpecs, and cobra-serve: canonicalize, compose
+// the pipeline (with the fault plan and observer wired in), build the
+// workload, assemble the host core, run warmup + measured instructions, and
+// enforce the paranoid-mode invariant contract.
+func Exec(s *RunSpec, at Attach) (*Outcome, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := c.Pipeline.Options()
+	if err != nil {
+		return nil, err
+	}
+	opt.Paranoid = c.Paranoid
+	opt.Wrap = at.Wrap
+	if plan, err := c.Faults.Plan(); err != nil {
+		return nil, err
+	} else if plan != nil {
+		plan.OnFault = at.OnFault
+		if inner := at.Wrap; inner != nil {
+			opt.Wrap = func(sc pred.Subcomponent) pred.Subcomponent { return plan.Wrap(inner(sc)) }
+		} else {
+			opt.Wrap = plan.Wrap
+		}
+	}
+
+	var tracer *obs.Tracer
+	opt.Observer = at.Observer
+	if opt.Observer == nil && c.Observe.Events {
+		tracer = obs.NewTracer(c.Observe.EventsBuf)
+		opt.Observer = tracer
+	}
+
+	cfg, err := c.ResolveCore()
+	if err != nil {
+		return nil, err
+	}
+	topo, err := compose.ParseTopology(c.Topology)
+	if err != nil {
+		return nil, err
+	}
+	name := c.Design
+	if name == "" {
+		name = c.Topology
+	}
+	bp, err := compose.New(cfg.Fetch, topo, opt)
+	if err != nil {
+		return nil, fmt.Errorf("spec: composing %s: %w", name, err)
+	}
+	prog, err := workloads.Get(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+
+	core := uarch.NewCore(cfg, bp, prog, c.Seed)
+	prof := at.Profile
+	if prof == nil && c.Observe.Attribution {
+		prof = obs.NewBranchProfile()
+	}
+	if prof != nil {
+		core.SetBranchProfile(prof)
+	}
+	if at.Metrics != nil {
+		core.SetMetrics(at.Metrics)
+	}
+
+	ctx := at.Ctx
+	if d := c.Timeout(); d > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, d)
+		defer cancel()
+	}
+	if ctx != nil {
+		core.SetContext(ctx)
+	}
+
+	if c.Warmup > 0 {
+		core.Run(c.Warmup)
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("spec: %s on %s: %w (during warmup)", name, c.Workload, ctx.Err())
+		}
+		core.ResetStats()
+	}
+	res := core.Run(c.Insts)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("spec: %s on %s: %w (after %d committed instructions)",
+			name, c.Workload, ctx.Err(), res.Instructions)
+	}
+	if n := bp.ViolationCount(); n > 0 {
+		return nil, fmt.Errorf("spec: %d invariant violations; first: %w", n, bp.Violations()[0])
+	}
+	out := &Outcome{Stats: res, Pipeline: bp, Profile: prof}
+	if tracer != nil {
+		out.Events = tracer.Events()
+		out.EventsTotal = tracer.Total()
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package spec
+
+import "fmt"
+
+// Preset returns the named Table I design point as a (non-canonicalized)
+// spec: "tage-l", "b2", or "tourney".  This is the single source of truth
+// for the paper's evaluated designs; the cobra package's Design constructors
+// and the CLI -design flag both derive from it.
+func Preset(name string) (*RunSpec, error) {
+	switch name {
+	case "tage-l":
+		// 7-table TAGE with a loop corrector over a BTB + bimodal base and a
+		// single-cycle micro-BTB; 64-bit global history.
+		return &RunSpec{
+			Design:   "tage-l",
+			Topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+			Pipeline: Pipeline{GHistBits: 64},
+		}, nil
+	case "b2":
+		// Original-BOOM-like: one partially tagged global table over a BTB +
+		// bimodal base; 16-bit global history.
+		return &RunSpec{
+			Design:   "b2",
+			Topology: "GTAG3 > BTB2 > BIM2",
+			Pipeline: Pipeline{GHistBits: 16},
+		}, nil
+	case "tourney":
+		// Alpha-21264-like: a global-history selector over global- and
+		// local-history counter tables, BTB on the global side.
+		return &RunSpec{
+			Design:   "tourney",
+			Topology: "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+			Pipeline: Pipeline{GHistBits: 32, LocalEntries: 256, LocalHistBits: 32},
+		}, nil
+	}
+	return nil, fmt.Errorf("spec: unknown design %q (tage-l, b2, tourney)", name)
+}
+
+// PresetNames lists the Table I designs in the paper's order.
+func PresetNames() []string { return []string{"tourney", "b2", "tage-l"} }

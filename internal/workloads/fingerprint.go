@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"cobra/internal/isa"
+)
+
+// Fingerprints are memoized per workload name: synthetic programs are
+// themselves cached, so hashing them twice is merely wasteful, but the
+// interpreted-ISA kernels recompile on every Get and the hash walk is the
+// only reason a spec validation would pay that compile.
+var (
+	fpMu sync.Mutex
+	fps  = map[string]string{}
+)
+
+// Fingerprint returns the content hash of the named workload's program
+// image (see program.Fingerprint).  The hash identifies the workload
+// *definition*: regenerating it after a generator or kernel change yields a
+// new value, which is what lets RunSpec digests invalidate stale cached
+// results.
+func Fingerprint(name string) (string, error) {
+	fpMu.Lock()
+	if f, ok := fps[name]; ok {
+		fpMu.Unlock()
+		return f, nil
+	}
+	fpMu.Unlock()
+	p, err := Get(name)
+	if err != nil {
+		return "", err
+	}
+	f := p.Fingerprint()
+	// An interpreted kernel's behaviours hash by type only (they bridge to a
+	// live machine), so fold the source text in: an edit that keeps the
+	// instruction stream's hashed shape — say an immediate operand — must
+	// still move the fingerprint.
+	if src, ok := kernelSource(name); ok {
+		sum := sha256.Sum256([]byte(f + "\nsource:" + src))
+		f = fmt.Sprintf("sha256:%x", sum)
+	}
+	fpMu.Lock()
+	fps[name] = f
+	fpMu.Unlock()
+	return f, nil
+}
+
+// kernelSource returns the assembly text of an interpreted-ISA kernel.
+func kernelSource(name string) (string, bool) {
+	switch name {
+	case "sort":
+		return isa.SortSource, true
+	case "fib":
+		return isa.FibSource, true
+	case "dispatch":
+		return isa.DispatchSource, true
+	}
+	return "", false
+}
+
+// Known reports whether name resolves to a workload without building it.
+func Known(name string) bool {
+	switch name {
+	case "dhrystone", "coremark", "sort", "fib", "dispatch":
+		return true
+	}
+	for _, p := range profiles {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
