@@ -26,6 +26,9 @@ func run() error {
 		design = flag.String("design", "", "restrict to one design: tage-l, b2, tourney")
 	)
 	flag.Parse()
+	if exit, err := f.Handle("cobra-area"); err != nil || exit {
+		return err
+	}
 	cli.ExitAfter("cobra-area", *f.Timeout)
 
 	designs := cobra.Designs()

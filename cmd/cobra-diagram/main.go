@@ -31,6 +31,9 @@ func run() error {
 	)
 	paranoid = f.Paranoid
 	flag.Parse()
+	if exit, err := f.Handle("cobra-diagram"); err != nil || exit {
+		return err
+	}
 	cli.ExitAfter("cobra-diagram", *f.Timeout)
 
 	if *topo != "" {

@@ -41,6 +41,9 @@ func run() error {
 	)
 	paranoid := f.Paranoid
 	flag.Parse()
+	if exit, err := f.Handle("cobra-events"); err != nil || exit {
+		return err
+	}
 	if *input == "" {
 		flag.Usage()
 		return fmt.Errorf("-i is required")

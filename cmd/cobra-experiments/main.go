@@ -39,6 +39,9 @@ func run() error {
 		jobs = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
 	)
 	flag.Parse()
+	if exit, err := f.Handle("cobra-experiments"); err != nil || exit {
+		return err
+	}
 	cfg := experiments.Config{Insts: *f.Insts, Warmup: *f.Warmup, Seed: *f.Seed,
 		Parallelism: *jobs, Paranoid: *f.Paranoid, Timeout: *f.Timeout}
 	met, progress, closeTel, err := f.Telemetry("cobra-experiments")

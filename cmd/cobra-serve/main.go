@@ -6,19 +6,22 @@
 //
 //	cobra-serve -addr :8080
 //	cobra-serve -addr 127.0.0.1:0 -workers 8 -queue 128 -cache-dir /var/cache/cobra
+//	cobra-serve -log-format json            # structured logs for collectors
+//	cobra-serve -version                    # build identity, then exit
 //	cobra-sim -design b2 -workload fib -insts 50000 -print-spec > run.json
-//	curl -s -d @run.json http://localhost:8080/v1/runs
+//	curl -s -H 'traceparent: 00-<32hex>-<16hex>-01' -d @run.json http://localhost:8080/v1/runs
 //	curl -s http://localhost:8080/v1/runs/sha256:<digest>
+//	curl -s http://localhost:8080/v1/runs/sha256:<digest>/trace > trace.json
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued jobs
-// run to completion (up to -drain-timeout), and the process exits 0.
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, /healthz/ready
+// flips to 503, queued jobs run to completion (up to -drain-timeout), and the
+// process exits 0.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -34,35 +37,45 @@ import (
 func main() { cli.Main("cobra-serve", run) }
 
 func run() error {
+	base := cli.AddBaseFlags(flag.CommandLine)
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queueLen     = flag.Int("queue", 64, "pending-job bound; a full queue answers 429")
 		cacheN       = flag.Int("cache", 256, "in-memory result cache entries")
 		cacheDir     = flag.String("cache-dir", "", "persist results in this directory (must exist; empty = memory only)")
+		traceN       = flag.Int("traces", 256, "per-run request traces kept live for /v1/runs/{id}/trace")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock cap on top of each spec's own timeout (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued jobs before abandoning them")
 		quiet        = flag.Bool("quiet", false, "suppress the per-job log lines")
 	)
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
 	flag.Parse()
+	if exit, err := base.Handle("cobra-serve"); err != nil || exit {
+		return err
+	}
+	logger, err := base.Logger("cobra-serve")
+	if err != nil {
+		return err
+	}
 
 	if *cacheDir != "" {
 		if st, err := os.Stat(*cacheDir); err != nil || !st.IsDir() {
 			return fmt.Errorf("-cache-dir %q is not a directory", *cacheDir)
 		}
 	}
-	logger := log.New(os.Stderr, "cobra-serve: ", log.LstdFlags)
+	jobLog := logger
 	if *quiet {
-		logger = nil
+		jobLog = cli.DiscardLogger()
 	}
 	srv := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueLen:     *queueLen,
 		CacheEntries: *cacheN,
 		CacheDir:     *cacheDir,
+		TraceEntries: *traceN,
 		JobTimeout:   *jobTimeout,
-		Log:          logger,
+		Log:          jobLog,
 	})
 	srv.Start()
 
@@ -72,7 +85,7 @@ func run() error {
 			return fmt.Errorf("pprof listener: %w", err)
 		}
 		defer closePprof() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+		logger.Info("serving pprof", "url", fmt.Sprintf("http://%s/debug/pprof/", bound))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -82,7 +95,8 @@ func run() error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "cobra-serve: listening on http://%s (POST /v1/runs)\n", ln.Addr())
+	logger.Info("listening", "url", fmt.Sprintf("http://%s", ln.Addr()),
+		"build", obs.BuildInfo().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,7 +107,7 @@ func run() error {
 	}
 	stop() // a second signal kills the process the default way
 
-	fmt.Fprintf(os.Stderr, "cobra-serve: draining (up to %v)\n", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil {
@@ -102,6 +116,6 @@ func run() error {
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "cobra-serve: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -34,6 +34,9 @@ func run() error {
 	printSpec := flag.Bool("print-spec", false, "print the canonical RunSpec JSON to stdout and its digest to stderr, then exit without running")
 	verbose := flag.Bool("v", false, "print extended counters")
 	flag.Parse()
+	if exit, err := f.Handle("cobra-sim"); err != nil || exit {
+		return err
+	}
 
 	var (
 		s   *spec.RunSpec

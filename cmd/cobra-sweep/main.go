@@ -54,6 +54,9 @@ func run() error {
 		keepGoing  = flag.Bool("keep-going", false, "report failed cells on stderr and keep sweeping instead of aborting")
 	)
 	flag.Parse()
+	if exit, err := f.Handle("cobra-sweep"); err != nil || exit {
+		return err
+	}
 
 	met, progress, closeTel, err := f.Telemetry("cobra-sweep")
 	if err != nil {

@@ -33,6 +33,9 @@ func run() error {
 		inPath  = flag.String("i", "", "input trace file (default stdin)")
 	)
 	flag.Parse()
+	if exit, err := f.Handle("cobra-trace"); err != nil || exit {
+		return err
+	}
 	cli.ExitAfter("cobra-trace", *f.Timeout)
 	switch {
 	case *capture:

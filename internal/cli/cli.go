@@ -10,6 +10,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -44,7 +45,11 @@ const (
 
 // RunFlags holds the registered run-shaping flags.  Fields for groups a tool
 // did not register stay nil and contribute their zero value to the spec.
+// The embedded Base (-log-format, -version) is always registered; call
+// Handle after flag.Parse to honor it.
 type RunFlags struct {
+	*Base
+
 	Design   *string
 	Topology *string
 	GHist    *uint
@@ -80,7 +85,7 @@ type RunFlags struct {
 // AddRunFlags registers the selected groups on fs (pass flag.CommandLine for
 // a tool's top level) and returns the handle that later builds the RunSpec.
 func AddRunFlags(fs *flag.FlagSet, g Groups) *RunFlags {
-	f := &RunFlags{}
+	f := &RunFlags{Base: AddBaseFlags(fs)}
 	if g&GDesign != 0 {
 		f.Design = fs.String("design", "tage-l", "paper design: tage-l, b2, tourney (ignored with -topology)")
 		f.Topology = fs.String("topology", "", "explicit topology string, e.g. \"GTAG3 > BTB2 > BIM2\"")
@@ -261,7 +266,7 @@ func (f *RunFlags) Telemetry(tool string) (*obs.Metrics, time.Duration, func(), 
 			return nil, 0, nil, fmt.Errorf("metrics listener: %w", err)
 		}
 		closers = append(closers, close)
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+		slog.Info("serving metrics", "tool", tool, "url", "http://"+bound+"/metrics")
 	}
 	if addr := str(f.PprofAddr); addr != "" {
 		bound, close, err := obs.ServePprof(addr)
@@ -270,9 +275,8 @@ func (f *RunFlags) Telemetry(tool string) (*obs.Metrics, time.Duration, func(), 
 			return nil, 0, nil, fmt.Errorf("pprof listener: %w", err)
 		}
 		closers = append(closers, close)
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+		slog.Info("serving pprof", "tool", tool, "url", "http://"+bound+"/debug/pprof/")
 	}
-	_ = tool
 	return met, progress, closeAll, nil
 }
 

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"cobra/internal/obs"
+)
+
+// Base holds the flags every cobra binary shares regardless of what it runs:
+// the structured-log format and the build-identity query.  AddRunFlags
+// embeds one into its RunFlags; tools without run flags (cobra-serve)
+// register it directly with AddBaseFlags.
+type Base struct {
+	LogFormat *string
+	Version   *bool
+}
+
+// AddBaseFlags registers -log-format and -version on fs.
+func AddBaseFlags(fs *flag.FlagSet) *Base {
+	return &Base{
+		LogFormat: fs.String("log-format", "text", "diagnostic log format on stderr: text or json"),
+		Version:   fs.Bool("version", false, "print build information and exit"),
+	}
+}
+
+// Logger builds the tool's structured logger per -log-format: line-oriented
+// key=value text for humans, one JSON object per line for log pipelines.
+// Every record carries the tool name.
+func (b *Base) Logger(tool string) (*slog.Logger, error) {
+	return NewLogger(os.Stderr, str(b.LogFormat), tool)
+}
+
+// NewLogger builds a slog logger writing format ("text", "json", or "" for
+// text) to w, with the tool name attached to every record.
+func NewLogger(w io.Writer, format, tool string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+	}
+	return slog.New(h).With("tool", tool), nil
+}
+
+// DiscardLogger returns a logger that drops every record — the nil-config
+// default for embedded servers and tests.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// Handle finishes base-flag processing after flag.Parse: it installs the
+// tool's structured logger as the slog default (so shared helpers like
+// Telemetry log in the requested format) and, under -version, prints the
+// build identity and reports that the tool should exit.
+func (b *Base) Handle(tool string) (exit bool, err error) {
+	l, err := b.Logger(tool)
+	if err != nil {
+		return false, err
+	}
+	slog.SetDefault(l)
+	if b.Version != nil && *b.Version {
+		fmt.Println(tool + " " + obs.BuildInfo().String())
+		return true, nil
+	}
+	return false, nil
+}

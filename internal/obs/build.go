@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Build is the embedded build identity of the running binary, read once from
+// runtime/debug.ReadBuildInfo.  It labels the /metrics exposition and the
+// healthz payload, and backs every tool's -version flag, so "which build is
+// serving" is answerable from any of the three surfaces.
+type Build struct {
+	Path      string `json:"path"`       // main module path ("cobra")
+	Version   string `json:"version"`    // module version ("(devel)" for source builds)
+	GoVersion string `json:"go_version"` // toolchain that built the binary
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"` // commit timestamp (RFC 3339)
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// BuildInfo returns the binary's build identity.  Fields the build did not
+// stamp (e.g. VCS data in a plain `go test` binary) stay empty.
+func BuildInfo() Build {
+	b := Build{Path: "unknown", Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Path = bi.Main.Path
+	b.Version = bi.Main.Version
+	b.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line form -version prints.
+func (b Build) String() string {
+	s := fmt.Sprintf("%s %s %s", b.Path, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s
+}

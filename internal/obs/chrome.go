@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // WriteChrome exports events in the Chrome trace_event JSON format, loadable
@@ -62,4 +63,63 @@ func WriteChrome(w io.Writer, events []Event) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// WriteChromeSpans exports wall-clock request spans in the same Chrome
+// trace_event JSON format WriteChrome uses for cycle-level events, so a
+// request timeline opens in Perfetto next to a cycle timeline.  Each span
+// track ("admission", "queue", "cache", "exec", …) becomes its own named
+// thread, every span renders as a complete ("X") slice at its wall-clock
+// microsecond timestamps, and the W3C identifiers plus any attributes land
+// in args for filtering.  Output is deterministic for a given span slice:
+// field order is fixed and spans appear in input order.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	tids := map[string]int{}
+	var order []string
+	for _, sp := range spans {
+		if _, ok := tids[sp.Track]; !ok {
+			tids[sp.Track] = len(order)
+			order = append(order, sp.Track)
+		}
+	}
+	first := true
+	emit := func(format string, args ...interface{}) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for tid, name := range order {
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, name)
+	}
+	for i := range spans {
+		sp := &spans[i]
+		var attrs string
+		for _, k := range sortedAttrKeys(sp.Attrs) {
+			attrs += fmt.Sprintf(",%q:%q", k, sp.Attrs[k])
+		}
+		emit(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":%q,"args":{"trace_id":%q,"span_id":%q,"parent_id":%q%s}}`,
+			tids[sp.Track], sp.StartUS, sp.DurUS, sp.Name, sp.TraceID, sp.SpanID, sp.Parent, attrs)
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func sortedAttrKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency/rate distribution rendered in the
+// Prometheus text exposition (`_bucket`/`_sum`/`_count` with cumulative
+// `le` labels).  Buckets are chosen at construction and never reshaped, so
+// Observe is a lock-free binary search plus two atomic adds; all methods
+// are safe for concurrent use and valid on a nil receiver.
+type Histogram struct {
+	name  string
+	help  string
+	label string // extra label pair rendered into every series, e.g. `result="hit"`
+
+	bounds  []float64 // ascending upper bounds; +Inf is implicit at the end
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	count   atomic.Uint64
+}
+
+// NewHistogram builds a histogram named name with the given ascending bucket
+// upper bounds (+Inf is added implicitly).  label, when non-empty, is an
+// extra `key="value"` pair rendered into every series — the mechanism behind
+// families like cobra_request_seconds{result="hit"|"miss"}.
+func NewHistogram(name, help, label string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must ascend: " + name)
+	}
+	return &Histogram{
+		name: name, help: help, label: label,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous — the standard latency ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.  Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// header writes the one-per-family HELP/TYPE preamble.
+func (h *Histogram) header(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+}
+
+// series writes the cumulative bucket, sum, and count lines for this
+// histogram's label set.
+func (h *Histogram) series(b *strings.Builder) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", h.name, h.labelPrefix(), formatBound(bound), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, h.labelPrefix(), cum)
+	suffix := ""
+	if h.label != "" {
+		suffix = "{" + h.label + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", h.name, suffix, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", h.name, suffix, cum)
+}
+
+func (h *Histogram) labelPrefix() string {
+	if h.label == "" {
+		return ""
+	}
+	return h.label + ","
+}
+
+// Expo renders the full single-series exposition (header + series).
+func (h *Histogram) Expo() string {
+	var b strings.Builder
+	h.header(&b)
+	h.series(&b)
+	return b.String()
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -24,12 +24,95 @@ type Metrics struct {
 	jobsDone    atomic.Uint64
 	jobsFailed  atomic.Uint64
 
-	cycles atomic.Uint64
-	insts  atomic.Uint64
+	cycles     atomic.Uint64
+	insts      atomic.Uint64
+	eventDrops atomic.Uint64 // events lost to tracer ring overflow
+
+	// Latency/rate distributions (Prometheus histograms).  The serve-side
+	// families stay at zero count in batch tools; the job families fill from
+	// any runner batch.
+	queueWait *Histogram // cobra_serve_queue_wait_seconds
+	jobSecs   *Histogram // cobra_job_exec_seconds
+	jobRate   *Histogram // cobra_job_insts_per_second
+	reqHit    *Histogram // cobra_request_seconds{result="hit"}
+	reqMiss   *Histogram // cobra_request_seconds{result="miss"}
 }
 
+// Histogram bucket ladders: wall-clock seconds from 1 ms to ~33 s, and
+// simulation throughput from 10k to ~2.6G committed instructions/second.
+var (
+	secondsBuckets = ExpBuckets(0.001, 2, 16)
+	rateBuckets    = ExpBuckets(10_000, 4, 10)
+)
+
 // NewMetrics returns a zeroed metrics sink with the uptime clock started.
-func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start: time.Now(),
+		queueWait: NewHistogram("cobra_serve_queue_wait_seconds",
+			"time a job spent queued before a worker picked it up", "", secondsBuckets),
+		jobSecs: NewHistogram("cobra_job_exec_seconds",
+			"wall-clock execution time per simulation job", "", secondsBuckets),
+		jobRate: NewHistogram("cobra_job_insts_per_second",
+			"committed instructions per wall-clock second per job", "", rateBuckets),
+		reqHit: NewHistogram("cobra_request_seconds",
+			"end-to-end run-request latency, split by cache outcome", `result="hit"`, secondsBuckets),
+		reqMiss: NewHistogram("cobra_request_seconds",
+			"end-to-end run-request latency, split by cache outcome", `result="miss"`, secondsBuckets),
+	}
+}
+
+// ObserveQueueWait records one job's queue-wait time.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	if m != nil {
+		m.queueWait.Observe(d.Seconds())
+	}
+}
+
+// ObserveJob records one job's wall-clock execution time and, when the job
+// committed instructions, its simulation throughput.
+func (m *Metrics) ObserveJob(wall time.Duration, insts uint64) {
+	if m == nil {
+		return
+	}
+	m.jobSecs.Observe(wall.Seconds())
+	if sec := wall.Seconds(); sec > 0 && insts > 0 {
+		m.jobRate.Observe(float64(insts) / sec)
+	}
+}
+
+// ObserveRequest records one end-to-end run request (submission to result),
+// split by whether the result cache satisfied it.
+func (m *Metrics) ObserveRequest(d time.Duration, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.reqHit.Observe(d.Seconds())
+	} else {
+		m.reqMiss.Observe(d.Seconds())
+	}
+}
+
+// RequestCount returns how many requests were recorded for one cache
+// outcome — the test- and dashboard-facing accessor for the split family.
+func (m *Metrics) RequestCount(hit bool) uint64 {
+	if m == nil {
+		return 0
+	}
+	if hit {
+		return m.reqHit.Count()
+	}
+	return m.reqMiss.Count()
+}
+
+// AddEventDrops accumulates events lost to tracer ring overflow, so silent
+// truncation of captured traces is visible on /metrics.
+func (m *Metrics) AddEventDrops(n uint64) {
+	if m != nil && n > 0 {
+		m.eventDrops.Add(n)
+	}
+}
 
 // AddJobs records n submitted jobs.
 func (m *Metrics) AddJobs(n int) {
@@ -75,6 +158,7 @@ func (m *Metrics) AddInsts(n uint64) {
 type Snapshot struct {
 	JobsTotal, JobsStarted, JobsDone, JobsFailed uint64
 	Cycles, Instructions                         uint64
+	EventDrops                                   uint64
 	Uptime                                       time.Duration
 	KCyclesPerSec                                float64 // simulation rate
 }
@@ -88,6 +172,7 @@ func (m *Metrics) Snap() Snapshot {
 		JobsFailed:   m.jobsFailed.Load(),
 		Cycles:       m.cycles.Load(),
 		Instructions: m.insts.Load(),
+		EventDrops:   m.eventDrops.Load(),
 		Uptime:       time.Since(m.start),
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
@@ -112,6 +197,20 @@ func (m *Metrics) Expo() string {
 	line("cobra_sim_instructions_total", "committed instructions across all jobs", s.Instructions)
 	line("cobra_sim_kcycles_per_second", "aggregate simulation rate", fmt.Sprintf("%.1f", s.KCyclesPerSec))
 	line("cobra_uptime_seconds", "seconds since the metrics sink was created", fmt.Sprintf("%.1f", s.Uptime.Seconds()))
+	line("cobra_trace_events_dropped_total", "cycle-level events lost to tracer ring overflow", s.EventDrops)
+	for _, h := range []*Histogram{m.queueWait, m.jobSecs, m.jobRate} {
+		if h != nil {
+			h.header(&b)
+			h.series(&b)
+		}
+	}
+	// The hit/miss request split is one family: one HELP/TYPE header, two
+	// labeled series.
+	if m.reqHit != nil && m.reqMiss != nil {
+		m.reqHit.header(&b)
+		m.reqHit.series(&b)
+		m.reqMiss.series(&b)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the request-level half of the observability layer: wall-clock
+// spans for the serving stack (admission, queue wait, cache lookup, worker
+// execution, spec.Exec phases), correlated across process boundaries by W3C
+// Trace Context identifiers.  Where Event records *simulated cycles*, Span
+// records *service time* — the two export to the same Chrome trace_event
+// format so Perfetto can show a request timeline next to a cycle timeline.
+
+// TraceContext is a W3C Trace Context identity: the 16-byte trace ID shared
+// by every span of one distributed request, the 8-byte ID of the current
+// span, and the sampled flag.  The zero value is invalid.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// Valid reports whether both identifiers are non-zero, as the W3C spec
+// requires.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceIDString returns the 32-hex-digit trace ID.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-hex-digit span ID.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// Traceparent renders the context as a version-00 traceparent header value:
+// "00-<trace-id>-<parent-id>-<trace-flags>".
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tc.TraceIDString(), tc.SpanIDString(), tc.Flags)
+}
+
+// ParseTraceparent parses a version-00 traceparent header value.  Unknown
+// versions are rejected; all-zero identifiers are invalid per the spec.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < 55 {
+		return tc, fmt.Errorf("obs: traceparent %q too short", s)
+	}
+	if s[:3] != "00-" || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: malformed traceparent %q (want 00-<32hex>-<16hex>-<2hex>)", s)
+	}
+	if len(s) > 55 {
+		return tc, fmt.Errorf("obs: traceparent %q has trailing bytes", s)
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent trace-id: %w", err)
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent parent-id: %w", err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent flags: %w", err)
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q has all-zero identifiers", s)
+	}
+	return tc, nil
+}
+
+// NewTraceContext mints a fresh sampled context with random identifiers —
+// the root of a request that arrived without a traceparent header.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	randBytes(tc.TraceID[:])
+	randBytes(tc.SpanID[:])
+	tc.Flags = 1 // sampled
+	return tc
+}
+
+// Child returns a context for a new span of the same trace: same trace ID
+// and flags, fresh span ID.
+func (tc TraceContext) Child() TraceContext {
+	c := tc
+	randBytes(c.SpanID[:])
+	return c
+}
+
+func randBytes(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow does,
+		// identifiers only need uniqueness, not secrecy.
+		for i := range b {
+			b[i] = byte(time.Now().UnixNano() >> (8 * (i % 8)))
+		}
+	}
+	// Guard the all-zero identifier the W3C spec reserves as invalid.
+	allZero := true
+	for _, x := range b {
+		if x != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b[len(b)-1] = 1
+	}
+}
+
+// Span is one finished wall-clock span: a named interval on a track (the hop
+// it belongs to — "admission", "queue", "exec", …), tied into a trace by
+// W3C identifiers.  Times are microseconds since the Unix epoch, matching
+// the Chrome trace_event clock domain.
+type Span struct {
+	Name    string            `json:"name"`
+	Track   string            `json:"track"`
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent_id,omitempty"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// DefaultSpanCap is the per-run span buffer bound NewSpanRecorder(_, 0)
+// allocates: far above what one request produces, low enough that a
+// pathological caller cannot balloon a cached trace.
+const DefaultSpanCap = 512
+
+// SpanRecorder is a bounded, concurrency-safe buffer of the spans one run
+// accumulates: the per-run unit the serving layer keeps per digest and
+// exports at /v1/runs/{id}/trace.  Spans beyond the capacity are counted as
+// dropped rather than grown without bound.  A nil *SpanRecorder is a valid
+// no-op receiver, so instrumentation sites need no guards.
+type SpanRecorder struct {
+	mu      sync.Mutex
+	root    TraceContext
+	cap     int
+	spans   []Span
+	dropped uint64
+}
+
+// NewSpanRecorder returns a recorder rooted at tc (a zero context mints a
+// fresh one) holding at most capacity spans (0 = DefaultSpanCap).
+func NewSpanRecorder(tc TraceContext, capacity int) *SpanRecorder {
+	if !tc.Valid() {
+		tc = NewTraceContext()
+	}
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &SpanRecorder{root: tc, cap: capacity}
+}
+
+// Root returns the recorder's root context — the parent for spans with no
+// explicit parent.
+func (r *SpanRecorder) Root() TraceContext {
+	if r == nil {
+		return TraceContext{}
+	}
+	return r.root
+}
+
+// Record appends one already-measured span as a child of parent (the
+// recorder root when parent is invalid) and returns the new span's context,
+// for parenting further children.  Safe on a nil recorder.
+func (r *SpanRecorder) Record(parent TraceContext, track, name string, start, end time.Time, attrs map[string]string) TraceContext {
+	if r == nil {
+		return TraceContext{}
+	}
+	if !parent.Valid() {
+		parent = r.root
+	}
+	ctx := parent.Child()
+	r.add(Span{
+		Name:    name,
+		Track:   track,
+		TraceID: ctx.TraceIDString(),
+		SpanID:  ctx.SpanIDString(),
+		Parent:  parent.SpanIDString(),
+		StartUS: start.UnixMicro(),
+		DurUS:   end.Sub(start).Microseconds(),
+		Attrs:   attrs,
+	})
+	return ctx
+}
+
+// Start opens a live span as a child of parent (recorder root when parent is
+// invalid); End records it.  Safe on a nil recorder (returns a nil span,
+// itself a valid no-op receiver).
+func (r *SpanRecorder) Start(parent TraceContext, track, name string) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		parent = r.root
+	}
+	return &ActiveSpan{
+		rec:    r,
+		ctx:    parent.Child(),
+		parent: parent,
+		track:  track,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+func (r *SpanRecorder) add(sp Span) {
+	r.mu.Lock()
+	if len(r.spans) < r.cap {
+		r.spans = append(r.spans, sp)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded spans in completion order.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Dropped returns how many spans the bound discarded.
+func (r *SpanRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ActiveSpan is a span in progress.  All methods are safe on a nil receiver,
+// so a caller without a recorder attached pays only the nil checks.
+type ActiveSpan struct {
+	rec    *SpanRecorder
+	ctx    TraceContext
+	parent TraceContext
+	track  string
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	attrs  map[string]string
+}
+
+// Context returns the span's own trace context (usable as a parent before
+// the span has ended).
+func (a *ActiveSpan) Context() TraceContext {
+	if a == nil {
+		return TraceContext{}
+	}
+	return a.ctx
+}
+
+// SetAttr attaches one key/value attribute.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.attrs == nil {
+		a.attrs = make(map[string]string)
+	}
+	a.attrs[k] = v
+	a.mu.Unlock()
+}
+
+// Child opens a sub-span on its own track.
+func (a *ActiveSpan) Child(track, name string) *ActiveSpan {
+	if a == nil {
+		return nil
+	}
+	return a.rec.Start(a.ctx, track, name)
+}
+
+// End records the span into its recorder.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	attrs := a.attrs
+	a.mu.Unlock()
+	a.rec.add(Span{
+		Name:    a.name,
+		Track:   a.track,
+		TraceID: a.ctx.TraceIDString(),
+		SpanID:  a.ctx.SpanIDString(),
+		Parent:  a.parent.SpanIDString(),
+		StartUS: a.start.UnixMicro(),
+		DurUS:   time.Since(a.start).Microseconds(),
+		Attrs:   attrs,
+	})
+}

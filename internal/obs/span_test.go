@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatal("NewTraceContext produced an invalid context")
+	}
+	h := tc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", h, len(h))
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip changed the context: %+v vs %+v", got, tc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, err := ParseTraceparent(valid); err != nil {
+		t.Fatalf("reference header rejected: %v", err)
+	}
+	bad := []string{
+		"",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333",      // short
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // bad version
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // bad separator
+		"00-0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331-01",  // bad separator
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",  // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",  // zero span id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", // trailing bytes
+		"00-ZZf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // not hex
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", h)
+		}
+	}
+}
+
+func TestSpanRecorderParenting(t *testing.T) {
+	root := NewTraceContext()
+	rec := NewSpanRecorder(root, 0)
+	parent := rec.Start(rec.Root(), "worker", "worker")
+	child := parent.Child("exec", "run")
+	child.SetAttr("workload", "fib")
+	child.End()
+	parent.End()
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Children End before parents, so the child lands first in the buffer.
+	ch, par := spans[0], spans[1]
+	if ch.Name != "run" || par.Name != "worker" {
+		t.Fatalf("span order: %q then %q", ch.Name, par.Name)
+	}
+	if ch.TraceID != root.TraceIDString() || par.TraceID != root.TraceIDString() {
+		t.Error("spans did not inherit the root trace id")
+	}
+	if ch.Parent != par.SpanID {
+		t.Errorf("child parent_id %s != parent span_id %s", ch.Parent, par.SpanID)
+	}
+	if ch.Attrs["workload"] != "fib" {
+		t.Errorf("child attrs: %v", ch.Attrs)
+	}
+}
+
+func TestSpanRecorderBound(t *testing.T) {
+	rec := NewSpanRecorder(NewTraceContext(), 4)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		rec.Record(rec.Root(), "t", "s", now, now.Add(time.Millisecond), nil)
+	}
+	if got := len(rec.Spans()); got != 4 {
+		t.Errorf("buffer holds %d spans, want 4", got)
+	}
+	if got := rec.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var rec *SpanRecorder
+	var sp *ActiveSpan
+	rec.Record(TraceContext{}, "t", "s", time.Now(), time.Now(), nil)
+	sp = rec.Start(TraceContext{}, "t", "s")
+	sp.SetAttr("k", "v")
+	sp.Child("t", "s").End()
+	sp.End()
+	if rec.Spans() != nil || rec.Dropped() != 0 {
+		t.Error("nil recorder is not a clean no-op")
+	}
+}
+
+func TestWriteChromeSpansValid(t *testing.T) {
+	root := NewTraceContext()
+	rec := NewSpanRecorder(root, 0)
+	now := time.Now()
+	rec.Record(root, "admission", "admission", now, now.Add(time.Millisecond), map[string]string{"digest": "sha256:ab"})
+	rec.Record(root, "queue", "queue.wait", now, now.Add(2*time.Millisecond), nil)
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string            `json:"ph"`
+			Tid  int               `json:"tid"`
+			Name string            `json:"name"`
+			Dur  int64             `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	tracks := map[string]bool{}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			tracks[ev.Args["name"]] = true
+		case "X":
+			slices++
+			if ev.Args["trace_id"] != root.TraceIDString() {
+				t.Errorf("slice %q trace_id %q != %q", ev.Name, ev.Args["trace_id"], root.TraceIDString())
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if !tracks["admission"] || !tracks["queue"] {
+		t.Errorf("thread_name metadata missing tracks: %v", tracks)
+	}
+	if slices != 2 {
+		t.Errorf("got %d X slices, want 2", slices)
+	}
+	if !strings.Contains(buf.String(), `"digest":"sha256:ab"`) {
+		t.Error("span attrs not exported to args")
+	}
+}

@@ -157,6 +157,12 @@ type Options struct {
 	Progress io.Writer
 	// ProgressEvery overrides the progress reporting period.
 	ProgressEvery time.Duration
+
+	// SpanFor, when non-nil, returns the parent wall-clock span under which
+	// job i's execution spans are recorded (nil parent = job untraced).  The
+	// serving layer uses this to tie each job back to the HTTP request that
+	// enqueued it; spans are pure observability and never affect results.
+	SpanFor func(i int) *obs.ActiveSpan
 }
 
 // JobError identifies which job of a batch failed and why.
@@ -378,6 +384,11 @@ func RunFull(jobs []Sim, opt Options) ([]Result, error) {
 			begin := time.Now()
 			res, rerr := jobs[i].safeRun(ctx, Derive(opt.Seed, uint64(i)), met)
 			res.Wall = time.Since(begin)
+			var insts uint64
+			if res.Sim != nil {
+				insts = res.Sim.Instructions
+			}
+			met.ObserveJob(res.Wall, insts)
 			return res, rerr
 		})
 	return out, err

@@ -54,16 +54,35 @@ func RunSpecs(specs []*spec.RunSpec, opt Options) ([]SpecResult, error) {
 	return batch(len(specs), opt,
 		func(i int) (string, string) { return specs[i].Topology, "workload " + specs[i].Workload },
 		func(ctx context.Context, i int, met *obs.Metrics) (SpecResult, error) {
+			var span *obs.ActiveSpan
+			if opt.SpanFor != nil {
+				if parent := opt.SpanFor(i); parent != nil {
+					span = parent.Child("exec", "run")
+					span.SetAttr("topology", specs[i].Topology)
+					span.SetAttr("workload", specs[i].Workload)
+				}
+			}
 			begin := time.Now()
-			res, err := safeExec(ctx, specs[i], met)
+			res, err := safeExec(ctx, specs[i], met, span)
 			res.Wall = time.Since(begin)
+			var insts uint64
+			if res.Outcome != nil && res.Outcome.Stats != nil {
+				insts = res.Outcome.Stats.Instructions
+				// Surface silent event-ring overflow on /metrics.
+				met.AddEventDrops(res.Outcome.EventsTotal - uint64(len(res.Outcome.Events)))
+			}
+			met.ObserveJob(res.Wall, insts)
+			if err != nil {
+				span.SetAttr("error", err.Error())
+			}
+			span.End()
 			return res, err
 		})
 }
 
 // safeExec is spec.Exec behind the runner's recover boundary: a panicking
 // job becomes a *PanicError instead of killing the process.
-func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics) (res SpecResult, err error) {
+func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.ActiveSpan) (res SpecResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -76,7 +95,7 @@ func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics) (res SpecR
 	if err != nil {
 		return SpecResult{}, err
 	}
-	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met})
+	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met, Span: span})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr // report the cancellation, not its downstream wrapping

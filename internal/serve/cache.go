@@ -26,6 +26,10 @@ type cache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	dir   string // "" = memory only
+	// suffix versions the on-disk filenames (e.g. ".r2.json"): bumping the
+	// result schema orphans old files into deliberate misses rather than
+	// handing callers bytes in a shape they no longer expect.
+	suffix string
 }
 
 type centry struct {
@@ -33,8 +37,11 @@ type centry struct {
 	val []byte
 }
 
-func newCache(max int, dir string) *cache {
-	return &cache{max: max, ll: list.New(), items: make(map[string]*list.Element), dir: dir}
+func newCache(max int, dir, suffix string) *cache {
+	if suffix == "" {
+		suffix = ".json"
+	}
+	return &cache{max: max, ll: list.New(), items: make(map[string]*list.Element), dir: dir, suffix: suffix}
 }
 
 // get returns the stored bytes for key, consulting memory first and then the
@@ -109,5 +116,5 @@ func (c *cache) len() int {
 }
 
 func (c *cache) path(key string) string {
-	return filepath.Join(c.dir, key[len("sha256:"):]+".json")
+	return filepath.Join(c.dir, key[len("sha256:"):]+c.suffix)
 }

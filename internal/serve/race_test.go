@@ -41,7 +41,16 @@ func TestConcurrentCacheAndFingerprint(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				sp := smallSpec(uint64(1000 + (c+r)%distinct))
 				sp.Insts = 5_000
-				code, rs := postSpec(t, ts, sp)
+				// Odd clients submit with a traceparent so the span recorder
+				// and trace store see concurrent ingestion too.
+				var code int
+				var rs runStatus
+				if c%2 == 1 {
+					code, rs = postSpecTraced(t, ts, sp,
+						"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+				} else {
+					code, rs = postSpec(t, ts, sp)
+				}
 				switch code {
 				case http.StatusOK, http.StatusAccepted:
 				default:
@@ -49,7 +58,8 @@ func TestConcurrentCacheAndFingerprint(t *testing.T) {
 					continue
 				}
 				// Interleave the read paths the daemon serves concurrently.
-				for _, path := range []string{"/v1/runs/" + rs.Digest, "/healthz", "/metrics"} {
+				for _, path := range []string{"/v1/runs/" + rs.Digest,
+					"/v1/runs/" + rs.Digest + "/trace", "/healthz", "/healthz/ready", "/metrics"} {
 					resp, err := http.Get(ts.URL + path)
 					if err != nil {
 						t.Error(err)

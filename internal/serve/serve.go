@@ -6,6 +6,13 @@
 // fault plan), a cache hit is byte-identical to recomputing — the service
 // returns the stored bytes of the first execution verbatim.
 //
+// Every request is traced: the W3C traceparent header (when present) seeds a
+// per-run span tree covering admission, cache lookup, queue wait, worker
+// execution, the spec.Exec phases, render, and cache write; the trace is
+// served back as Chrome trace_event JSON.  Latency histograms (queue wait,
+// exec, end-to-end split by cache hit/miss) ride the /metrics exposition,
+// and every job transition logs one structured line via log/slog.
+//
 // The API surface:
 //
 //	POST /v1/runs             submit a RunSpec (JSON body) → 200 done (cache
@@ -14,7 +21,9 @@
 //	                          503 draining
 //	GET  /v1/runs/{id}        status/result by digest
 //	GET  /v1/runs/{id}/events captured event trace of a finished run
-//	GET  /healthz             liveness + queue depth
+//	GET  /v1/runs/{id}/trace  request trace (Chrome trace_event JSON)
+//	GET  /healthz             liveness (always 200 while the process serves)
+//	GET  /healthz/ready       readiness (503 while draining)
 //	GET  /metrics             Prometheus text exposition (obs.Metrics)
 package serve
 
@@ -23,7 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -35,6 +44,13 @@ import (
 	"cobra/internal/spec"
 	"cobra/internal/stats"
 )
+
+// resultVersion stamps every stored Result.  Bump it when the Result schema
+// changes shape (it does NOT track the RunSpec schema — spec.Version covers
+// that): the disk-cache filename carries the version, so entries written by
+// an older server become deliberate misses instead of deserialization
+// surprises.  v2 added result_version, trace_id, and the timings breakdown.
+const resultVersion = 2
 
 // Config shapes a Server.  Zero values select the documented defaults.
 type Config struct {
@@ -48,23 +64,33 @@ type Config struct {
 	// CacheDir, when non-empty, persists results on disk so the cache
 	// survives restarts.  The directory must exist.
 	CacheDir string
+	// TraceEntries bounds how many per-run request traces are kept live for
+	// GET /v1/runs/{id}/trace (default 256, FIFO-evicted).
+	TraceEntries int
 	// JobTimeout caps each job's wall-clock time on top of whatever the
 	// spec's own timeout_ms asks for (0 = none).
 	JobTimeout time.Duration
 	// Metrics receives job and cycle accounting; nil creates a fresh sink.
 	Metrics *obs.Metrics
-	// Log receives one line per job transition; nil discards.
-	Log *log.Logger
+	// Log receives one structured record per job transition; nil discards.
+	Log *slog.Logger
 }
 
 // Result is the stored outcome of one run — the unit the cache holds and
 // POST/GET hand back under "result".
 type Result struct {
-	Spec        *spec.RunSpec `json:"spec"`
-	Digest      string        `json:"digest"`
-	Stats       *stats.Sim    `json:"stats"`
-	Events      []obs.Event   `json:"events,omitempty"`
-	EventsTotal uint64        `json:"events_total,omitempty"`
+	ResultVersion int           `json:"result_version"`
+	Spec          *spec.RunSpec `json:"spec"`
+	Digest        string        `json:"digest"`
+	// TraceID is the trace the original computation ran under; replays from
+	// cache return it unchanged, tying the bytes back to the first request.
+	TraceID     string      `json:"trace_id,omitempty"`
+	Stats       *stats.Sim  `json:"stats"`
+	Events      []obs.Event `json:"events,omitempty"`
+	EventsTotal uint64      `json:"events_total,omitempty"`
+	// Timings breaks the original computation down by hop and phase; like
+	// WallMS it replays from cache unchanged.
+	Timings *Timings `json:"timings,omitempty"`
 	// WallMS is the wall-clock time of the original computation; replays
 	// from cache return it unchanged (responses are byte-identical).
 	WallMS int64 `json:"wall_ms"`
@@ -74,16 +100,21 @@ type Result struct {
 type job struct {
 	spec    *spec.RunSpec // canonical
 	digest  string
+	tc      obs.TraceContext // trace context of the enqueuing request
+	submit  time.Time        // when the HTTP request arrived
+	enqueue time.Time        // when the job entered the queue
 	started atomic.Bool
 	done    chan struct{}
 }
 
 // Server is the daemon state: worker pool, bounded queue, in-flight dedup
-// table, and the result cache.
+// table, the result cache, and the per-run trace store.
 type Server struct {
-	cfg Config
-	met *obs.Metrics
-	log *log.Logger
+	cfg    Config
+	met    *obs.Metrics
+	log    *slog.Logger
+	build  obs.Build
+	traces *traceStore
 
 	queue   chan *job
 	wg      sync.WaitGroup
@@ -108,18 +139,23 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.TraceEntries <= 0 {
+		cfg.TraceEntries = 256
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
 	if cfg.Log == nil {
-		cfg.Log = log.New(io.Discard, "", 0)
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return &Server{
 		cfg:      cfg,
 		met:      cfg.Metrics,
 		log:      cfg.Log,
+		build:    obs.BuildInfo(),
+		traces:   newTraceStore(cfg.TraceEntries),
 		queue:    make(chan *job, cfg.QueueLen),
-		results:  newCache(cfg.CacheEntries, cfg.CacheDir),
+		results:  newCache(cfg.CacheEntries, cfg.CacheDir, fmt.Sprintf(".r%d.json", resultVersion)),
 		jobs:     make(map[string]*job),
 		failures: make(map[string]string),
 	}
@@ -168,27 +204,48 @@ func (s *Server) worker() {
 }
 
 // runJob executes one spec through the parallel runner (panic containment,
-// per-job timeout, metrics accounting) and publishes the outcome.
+// per-job timeout, metrics accounting) and publishes the outcome.  The hops
+// — queue wait, worker, render, cache write — each get a span on the job's
+// trace; the runner parents the exec span (and spec.Exec's phase spans)
+// under the worker span it is handed.
 func (s *Server) runJob(j *job) {
 	j.started.Store(true)
-	begin := time.Now()
+	pickup := time.Now()
+	rec := s.traces.lookup(j.digest) // nil after eviction: spans become no-ops
+	rec.Record(j.tc, "queue", "queue.wait", j.enqueue, pickup, nil)
+	queueWait := pickup.Sub(j.enqueue)
+	s.met.ObserveQueueWait(queueWait)
+
+	wspan := rec.Start(j.tc, "worker", "worker")
 	res, err := runner.RunSpecs([]*spec.RunSpec{j.spec}, runner.Options{
 		Workers: 1, Policy: runner.FailFast, Timeout: s.cfg.JobTimeout, Metrics: s.met,
+		SpanFor: func(int) *obs.ActiveSpan { return wspan },
 	})
+	wspan.End()
+	var tmg Timings
 	if err == nil {
 		out := res[0].Outcome
+		tmg = Timings{QueueWaitMS: ms(queueWait), ExecMS: ms(res[0].Wall), Timings: out.Timings}
+		renderStart := time.Now()
 		data, merr := json.Marshal(Result{
-			Spec:        res[0].Spec,
-			Digest:      j.digest,
-			Stats:       out.Stats,
-			Events:      out.Events,
-			EventsTotal: out.EventsTotal,
-			WallMS:      time.Since(begin).Milliseconds(),
+			ResultVersion: resultVersion,
+			Spec:          res[0].Spec,
+			Digest:        j.digest,
+			TraceID:       j.tc.TraceIDString(),
+			Stats:         out.Stats,
+			Events:        out.Events,
+			EventsTotal:   out.EventsTotal,
+			Timings:       &tmg,
+			WallMS:        time.Since(pickup).Milliseconds(),
 		})
+		rec.Record(j.tc, "render", "render", renderStart, time.Now(), nil)
 		if merr != nil {
 			err = merr
 		} else {
+			writeStart := time.Now()
 			s.results.put(j.digest, data)
+			rec.Record(j.tc, "cache", "cache.write", writeStart, time.Now(),
+				map[string]string{"bytes": fmt.Sprint(len(data))})
 		}
 	}
 	s.mu.Lock()
@@ -198,10 +255,17 @@ func (s *Server) runJob(j *job) {
 	delete(s.jobs, j.digest)
 	s.mu.Unlock()
 	close(j.done)
+	s.met.ObserveRequest(time.Since(j.submit), false)
 	if err != nil {
-		s.log.Printf("run %s failed after %v: %v", j.digest, time.Since(begin).Truncate(time.Millisecond), err)
+		s.log.Error("run failed",
+			"run_digest", j.digest, "trace_id", j.tc.TraceIDString(), "phase", "failed",
+			"queue_wait_ms", ms(queueWait), "total_ms", ms(time.Since(j.submit)),
+			"error", err.Error())
 	} else {
-		s.log.Printf("run %s done in %v", j.digest, time.Since(begin).Truncate(time.Millisecond))
+		s.log.Info("run done",
+			"run_digest", j.digest, "trace_id", j.tc.TraceIDString(), "phase", "done",
+			"queue_wait_ms", ms(queueWait), "exec_ms", tmg.ExecMS,
+			"simulate_ms", tmg.SimulateMS, "total_ms", ms(time.Since(j.submit)))
 	}
 }
 
@@ -224,18 +288,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
 // runStatus is the envelope every /v1/runs response uses.
 type runStatus struct {
-	Digest string          `json:"digest"`
-	Status string          `json:"status"` // queued, running, done, failed
-	Cached bool            `json:"cached,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	Digest  string          `json:"digest"`
+	Status  string          `json:"status"` // queued, running, done, failed
+	Cached  bool            `json:"cached,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -249,6 +316,8 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	tc, _ := traceContextFrom(r)
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -268,35 +337,78 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
-	if raw, ok := s.results.get(digest); ok {
-		writeJSON(w, http.StatusOK, runStatus{Digest: digest, Status: "done", Cached: true, Result: raw})
+	// Traces are keyed by digest; the recorder is rooted at the first
+	// submitter's context, and every request (original, coalesced, cache
+	// hit) appends spans carrying its own trace ID.
+	rec := s.traces.intern(digest, tc, 0)
+	rec.Record(tc, "admission", "admission", reqStart, time.Now(),
+		map[string]string{"digest": digest})
+
+	lookupStart := time.Now()
+	raw, hit := s.results.get(digest)
+	if hit {
+		rec.Record(tc, "cache", "cache.lookup", lookupStart, time.Now(),
+			map[string]string{"result": "hit"})
+		// The replay's "execution" is the cache serve itself — a near-zero
+		// span on the exec track, so hit and miss traces compare directly.
+		rec.Record(tc, "exec", "exec", lookupStart, time.Now(),
+			map[string]string{"cached": "true"})
+		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
+			map[string]string{"status": "200"})
+		s.met.ObserveRequest(time.Since(reqStart), true)
+		s.log.Info("run served from cache",
+			"run_digest", digest, "trace_id", tc.TraceIDString(), "phase", "cache_hit",
+			"total_ms", ms(time.Since(reqStart)))
+		writeJSON(w, http.StatusOK, runStatus{
+			Digest: digest, Status: "done", Cached: true,
+			TraceID: tc.TraceIDString(), Result: raw,
+		})
 		return
 	}
+	rec.Record(tc, "cache", "cache.lookup", lookupStart, time.Now(),
+		map[string]string{"result": "miss"})
 	s.mu.Lock()
 	if j, ok := s.jobs[digest]; ok {
 		// Identical spec already in flight: coalesce instead of re-running.
 		status := statusOf(j)
 		s.mu.Unlock()
+		rec.Record(tc, "singleflight", "coalesce", reqStart, time.Now(),
+			map[string]string{"status": status})
+		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
+			map[string]string{"status": "202"})
 		w.Header().Set("Location", "/v1/runs/"+digest)
-		writeJSON(w, http.StatusAccepted, runStatus{Digest: digest, Status: status})
+		writeJSON(w, http.StatusAccepted, runStatus{
+			Digest: digest, Status: status, TraceID: tc.TraceIDString(),
+		})
 		return
 	}
 	if s.draining {
 		s.mu.Unlock()
+		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
+			map[string]string{"status": "503"})
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	j := &job{spec: sp, digest: digest, done: make(chan struct{})}
+	j := &job{spec: sp, digest: digest, tc: tc, submit: reqStart, done: make(chan struct{})}
+	j.enqueue = time.Now()
 	select {
 	case s.queue <- j:
 		s.jobs[digest] = j
 		delete(s.failures, digest) // a resubmission supersedes an old failure
 		s.mu.Unlock()
-		s.log.Printf("run %s queued (%s on %s, %d insts)", digest, sp.Topology, sp.Workload, sp.Insts)
+		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
+			map[string]string{"status": "202"})
+		s.log.Info("run queued",
+			"run_digest", digest, "trace_id", tc.TraceIDString(), "phase", "queued",
+			"topology", sp.Topology, "workload", sp.Workload, "insts", sp.Insts)
 		w.Header().Set("Location", "/v1/runs/"+digest)
-		writeJSON(w, http.StatusAccepted, runStatus{Digest: digest, Status: "queued"})
+		writeJSON(w, http.StatusAccepted, runStatus{
+			Digest: digest, Status: "queued", TraceID: tc.TraceIDString(),
+		})
 	default:
 		s.mu.Unlock()
+		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
+			map[string]string{"status": "429"})
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue full (%d pending)", s.cfg.QueueLen)
 	}
@@ -359,22 +471,89 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// handleTrace serves the request trace of a run as Chrome trace_event JSON
+// (load it in Perfetto or chrome://tracing).  Traces live in a bounded
+// in-memory store: a run submitted before the last restart, or evicted by
+// newer traffic, answers 404 even though its result may still be cached.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validDigest(id) {
+		writeError(w, http.StatusBadRequest, "malformed digest %q", id)
+		return
+	}
+	rec := s.traces.lookup(id)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no trace for run %s (not submitted here, or evicted)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteChromeSpans(w, rec.Spans()) //nolint:errcheck
+}
+
+// health assembles the status document /healthz and /healthz/ready share.
+func (s *Server) health() map[string]any {
 	s.mu.Lock()
 	inflight := len(s.jobs)
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	return map[string]any{
+		"status":   status,
 		"queued":   len(s.queue),
 		"inflight": inflight,
 		"workers":  s.cfg.Workers,
 		"cached":   s.results.len(),
+		"traces":   s.traces.len(),
 		"draining": draining,
-	})
+		"build":    s.build,
+	}
+}
+
+// handleHealth is liveness: 200 whenever the process can answer at all,
+// draining included — restarting a draining server would lose queued work.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReady is readiness: 503 while draining so load balancers stop
+// routing new submissions, 200 otherwise.  Same document as /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	if h["draining"] == true {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprint(w, s.met.Expo())
+	s.mu.Lock()
+	inflight := len(s.jobs)
+	failures := len(s.failures)
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	gauge("cobra_serve_queue_depth", "Jobs waiting in the bounded queue.", len(s.queue))
+	gauge("cobra_serve_inflight", "Jobs admitted and not yet finished.", inflight)
+	gauge("cobra_serve_cache_entries", "In-memory result cache entries.", s.results.len())
+	gauge("cobra_serve_failures", "Entries in the bounded failure FIFO.", failures)
+	gauge("cobra_serve_draining", "1 while the server is draining, 0 otherwise.", draining)
+	gauge("cobra_serve_trace_entries", "Per-run request traces held live.", s.traces.len())
+	gauge("cobra_serve_span_drops_total", "Request spans discarded to per-run buffer bounds.", s.traces.droppedTotal())
+	fmt.Fprintf(w, "# HELP go_build_info Build information about the main Go module.\n"+
+		"# TYPE go_build_info gauge\ngo_build_info{path=%q,version=%q,checksum=\"\"} 1\n",
+		s.build.Path, s.build.Version)
+	fmt.Fprintf(w, "# HELP cobra_build_info Build identity of this binary.\n"+
+		"# TYPE cobra_build_info gauge\ncobra_build_info{goversion=%q,revision=%q,dirty=\"%t\"} 1\n",
+		s.build.GoVersion, s.build.Revision, s.build.Dirty)
 }

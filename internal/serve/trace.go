@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"cobra/internal/obs"
+	"cobra/internal/spec"
+)
+
+// Timings is the cached wall-clock breakdown of one serviced run: the
+// service-side hops (queue wait, worker execution) plus the spec.Exec phase
+// breakdown, all in milliseconds.  It is stored inside the Result, so a
+// cache hit replays the timings of the original computation — "how long did
+// this digest cost to compute" survives the cache.
+type Timings struct {
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	ExecMS      float64 `json:"exec_ms"`
+	spec.Timings
+}
+
+// traceContextFrom extracts the W3C trace context of an incoming request:
+// the traceparent header when present and well-formed, a freshly minted
+// root otherwise.  supplied reports which case it was.
+func traceContextFrom(r *http.Request) (tc obs.TraceContext, supplied bool) {
+	if h := r.Header.Get("traceparent"); h != "" {
+		if parsed, err := obs.ParseTraceparent(h); err == nil {
+			return parsed, true
+		}
+	}
+	return obs.NewTraceContext(), false
+}
+
+// traceStore keeps one bounded SpanRecorder per run digest — the per-run
+// request traces /v1/runs/{id}/trace serves.  Bounded FIFO: beyond max
+// digests, the oldest trace is evicted (the Result's Timings survive in the
+// cache; the span-level trace is a live-debugging artifact, not a ledger).
+type traceStore struct {
+	mu    sync.Mutex
+	max   int
+	order []string
+	recs  map[string]*obs.SpanRecorder
+}
+
+func newTraceStore(max int) *traceStore {
+	return &traceStore{max: max, recs: make(map[string]*obs.SpanRecorder)}
+}
+
+// intern returns the digest's recorder, creating it rooted at tc on first
+// sight.  Later requests for the same digest share the recorder (their
+// spans carry their own trace IDs), so a trace shows the original
+// computation and subsequent cache hits side by side.
+func (t *traceStore) intern(digest string, tc obs.TraceContext, spanCap int) *obs.SpanRecorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rec, ok := t.recs[digest]; ok {
+		return rec
+	}
+	rec := obs.NewSpanRecorder(tc, spanCap)
+	t.recs[digest] = rec
+	t.order = append(t.order, digest)
+	for len(t.order) > t.max {
+		delete(t.recs, t.order[0])
+		t.order = t.order[1:]
+	}
+	return rec
+}
+
+// lookup returns the digest's recorder, or nil when it was never created or
+// already evicted.  A nil recorder is a valid no-op span sink.
+func (t *traceStore) lookup(digest string) *obs.SpanRecorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recs[digest]
+}
+
+// droppedTotal sums the spans every live recorder discarded to its bound.
+func (t *traceStore) droppedTotal() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n uint64
+	for _, rec := range t.recs {
+		n += rec.Dropped()
+	}
+	return n
+}
+
+// len reports how many run traces are live.
+func (t *traceStore) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }

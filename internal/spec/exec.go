@@ -3,6 +3,7 @@ package spec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cobra/internal/compose"
 	"cobra/internal/faults"
@@ -37,6 +38,24 @@ type Attach struct {
 	Wrap func(pred.Subcomponent) pred.Subcomponent
 	// OnFault observes every fault the spec's plan injects.
 	OnFault func(faults.Record)
+	// Span, when non-nil, is the parent wall-clock span under which Exec
+	// records its phase spans (canonicalize, workload, compose, warmup,
+	// simulate) on the "exec" track — the request-tracing hook the serving
+	// stack threads through the runner.  nil skips span recording; the
+	// Timings breakdown is measured either way.
+	Span *obs.ActiveSpan
+}
+
+// Timings is the wall-clock phase breakdown of one Exec call, in
+// milliseconds.  Pure telemetry: it never enters the spec digest, and cached
+// results replay the timings of the original computation.
+type Timings struct {
+	CanonicalizeMS float64 `json:"canonicalize_ms"`
+	WorkloadMS     float64 `json:"workload_ms"`
+	ComposeMS      float64 `json:"compose_ms"`
+	WarmupMS       float64 `json:"warmup_ms,omitempty"`
+	SimulateMS     float64 `json:"simulate_ms"`
+	TotalMS        float64 `json:"total_ms"`
 }
 
 // Outcome is everything one execution produced.
@@ -52,6 +71,8 @@ type Outcome struct {
 	// Profile is the per-PC attribution profile: the caller's, or a fresh
 	// one when Observe.Attribution asked for it.
 	Profile *obs.BranchProfile
+	// Timings is the wall-clock phase breakdown of this execution.
+	Timings Timings
 }
 
 // Exec runs the simulation a spec describes.  It is the one execution path
@@ -60,18 +81,39 @@ type Outcome struct {
 // workload, assemble the host core, run warmup + measured instructions, and
 // enforce the paranoid-mode invariant contract.
 func Exec(s *RunSpec, at Attach) (*Outcome, error) {
+	begin := time.Now()
+	var tm Timings
+	// endPhase closes one instrumented phase: it stamps the phase's wall
+	// time into the breakdown and records the span (with the error, if the
+	// phase failed).
+	endPhase := func(sp *obs.ActiveSpan, out *float64, t0 time.Time, err error) {
+		*out = time.Since(t0).Seconds() * 1e3
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+
+	sp := at.Span.Child("exec", "canonicalize")
+	t0 := time.Now()
 	c, err := s.Canonical()
+	endPhase(sp, &tm.CanonicalizeMS, t0, err)
 	if err != nil {
 		return nil, err
 	}
+
+	sp = at.Span.Child("exec", "compose")
+	t0 = time.Now()
 	opt, err := c.Pipeline.Options()
 	if err != nil {
+		endPhase(sp, &tm.ComposeMS, t0, err)
 		return nil, err
 	}
 	opt.Paranoid = c.Paranoid
 	opt.Wrap = at.Wrap
-	if plan, err := c.Faults.Plan(); err != nil {
-		return nil, err
+	if plan, perr := c.Faults.Plan(); perr != nil {
+		endPhase(sp, &tm.ComposeMS, t0, perr)
+		return nil, perr
 	} else if plan != nil {
 		plan.OnFault = at.OnFault
 		if inner := at.Wrap; inner != nil {
@@ -90,10 +132,12 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 
 	cfg, err := c.ResolveCore()
 	if err != nil {
+		endPhase(sp, &tm.ComposeMS, t0, err)
 		return nil, err
 	}
 	topo, err := compose.ParseTopology(c.Topology)
 	if err != nil {
+		endPhase(sp, &tm.ComposeMS, t0, err)
 		return nil, err
 	}
 	name := c.Design
@@ -102,9 +146,16 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	}
 	bp, err := compose.New(cfg.Fetch, topo, opt)
 	if err != nil {
-		return nil, fmt.Errorf("spec: composing %s: %w", name, err)
+		err = fmt.Errorf("spec: composing %s: %w", name, err)
+		endPhase(sp, &tm.ComposeMS, t0, err)
+		return nil, err
 	}
+	endPhase(sp, &tm.ComposeMS, t0, nil)
+
+	sp = at.Span.Child("exec", "workload")
+	t0 = time.Now()
 	prog, err := workloads.Get(c.Workload)
+	endPhase(sp, &tm.WorkloadMS, t0, err)
 	if err != nil {
 		return nil, err
 	}
@@ -136,21 +187,37 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	}
 
 	if c.Warmup > 0 {
+		sp = at.Span.Child("exec", "warmup")
+		t0 = time.Now()
 		core.Run(c.Warmup)
 		if ctx != nil && ctx.Err() != nil {
-			return nil, fmt.Errorf("spec: %s on %s: %w (during warmup)", name, c.Workload, ctx.Err())
+			err := fmt.Errorf("spec: %s on %s: %w (during warmup)", name, c.Workload, ctx.Err())
+			endPhase(sp, &tm.WarmupMS, t0, err)
+			return nil, err
 		}
 		core.ResetStats()
+		endPhase(sp, &tm.WarmupMS, t0, nil)
 	}
+	sp = at.Span.Child("exec", "simulate")
+	t0 = time.Now()
 	res := core.Run(c.Insts)
 	if ctx != nil && ctx.Err() != nil {
-		return nil, fmt.Errorf("spec: %s on %s: %w (after %d committed instructions)",
+		err := fmt.Errorf("spec: %s on %s: %w (after %d committed instructions)",
 			name, c.Workload, ctx.Err(), res.Instructions)
+		endPhase(sp, &tm.SimulateMS, t0, err)
+		return nil, err
 	}
 	if n := bp.ViolationCount(); n > 0 {
-		return nil, fmt.Errorf("spec: %d invariant violations; first: %w", n, bp.Violations()[0])
+		err := fmt.Errorf("spec: %d invariant violations; first: %w", n, bp.Violations()[0])
+		endPhase(sp, &tm.SimulateMS, t0, err)
+		return nil, err
 	}
-	out := &Outcome{Stats: res, Pipeline: bp, Profile: prof}
+	sp.SetAttr("cycles", fmt.Sprintf("%d", res.Cycles))
+	sp.SetAttr("instructions", fmt.Sprintf("%d", res.Instructions))
+	endPhase(sp, &tm.SimulateMS, t0, nil)
+	tm.TotalMS = time.Since(begin).Seconds() * 1e3
+
+	out := &Outcome{Stats: res, Pipeline: bp, Profile: prof, Timings: tm}
 	if tracer != nil {
 		out.Events = tracer.Events()
 		out.EventsTotal = tracer.Total()
