@@ -45,6 +45,12 @@ type Entry struct {
 	metaBuf    []uint64 // backing arena for metas (reused across allocations)
 	metaSums   []uint64 // paranoid mode: per-node metadata checksums at predict
 	ops        []uint8  // opinion tracking: per node x slot direction opinions
+
+	// stages is the per-stage final-prediction vector Predict returns,
+	// owned by the entry so steady-state prediction allocates nothing.  The
+	// slice stays valid until this history-file slot is reallocated (the
+	// frontend drops its reference no later than the entry's own death).
+	stages []pred.Packet
 }
 
 type lhistSave struct {
@@ -90,9 +96,10 @@ func (hf *historyFile) alloc() *Entry {
 		slots[i] = pred.SlotInfo{}
 	}
 	metaBuf, metas, shifts, saves, sums, ops := e.metaBuf, e.metas, e.shifts, e.lhistSaves, e.metaSums, e.ops
+	snap, stages := e.preSnap, e.stages
 	*e = Entry{idx: idx, seq: hf.seq, valid: true, Slots: slots, CfiIdx: -1,
 		metaBuf: metaBuf, metas: metas, shifts: shifts[:0], lhistSaves: saves[:0],
-		metaSums: sums[:0], ops: ops[:0]}
+		metaSums: sums[:0], ops: ops[:0], preSnap: snap, stages: stages}
 	return e
 }
 

@@ -1,0 +1,77 @@
+package compose
+
+import "sync"
+
+// Geometry is an immutable, shareable description of a pipeline's canonical
+// build inputs: the parsed topology, the base generation options, and an
+// opaque caller-owned auxiliary value (spec.Exec stores the resolved host
+// core configuration there).  A Topology is never mutated after parse and
+// Options is copied by value, so one Geometry may back any number of
+// concurrent compose.New calls — which is what makes memoizing it safe for
+// the parallel runner.
+//
+// The process-local hooks (Options.Wrap, Options.Observer, Paranoid) are
+// per-run, never part of a memoized geometry: callers copy Geometry.Opt and
+// attach them to the copy.
+type Geometry struct {
+	Topo *Topology
+	Opt  Options
+	Aux  any
+}
+
+// geoCacheMax bounds the memo table; a sweep over a design grid touches a
+// handful of geometries, so the bound only matters for adversarial callers
+// (e.g. a serving front-end fed unbounded distinct topologies).  On
+// overflow the whole table is dropped — entries are cheap to rebuild.
+const geoCacheMax = 4096
+
+var (
+	geoMu    sync.RWMutex
+	geoCache = make(map[string]*Geometry)
+)
+
+// GeometryFor returns the memoized geometry for key, invoking build to
+// construct it on first use.  build must be a pure function of key: two
+// callers racing on the same key may both run build, but exactly one result
+// is retained and every caller observes that one.  Errors are returned
+// without being cached.
+func GeometryFor(key string, build func() (*Geometry, error)) (*Geometry, error) {
+	geoMu.RLock()
+	g := geoCache[key]
+	geoMu.RUnlock()
+	if g != nil {
+		return g, nil
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	geoMu.Lock()
+	if prev, ok := geoCache[key]; ok {
+		g = prev // a racing builder won; converge on its result
+	} else {
+		if len(geoCache) >= geoCacheMax {
+			geoCache = make(map[string]*Geometry)
+		}
+		geoCache[key] = g
+	}
+	geoMu.Unlock()
+	return g, nil
+}
+
+// ParseTopologyCached is ParseTopology behind the geometry memo: repeated
+// parses of the same topology string (the runner re-parses one per job)
+// share a single immutable parse tree.
+func ParseTopologyCached(s string) (*Topology, error) {
+	g, err := GeometryFor("topo\x00"+s, func() (*Geometry, error) {
+		t, err := ParseTopology(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Geometry{Topo: t}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g.Topo, nil
+}

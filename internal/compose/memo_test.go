@@ -1,0 +1,67 @@
+package compose
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestParseTopologyCached pins the memo contract: same string → same parse
+// tree pointer, different strings → different trees, errors not cached.
+func TestParseTopologyCached(t *testing.T) {
+	const topo = "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"
+	a, err := ParseTopologyCached(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseTopologyCached(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same topology string parsed to distinct memoized trees")
+	}
+	c, err := ParseTopologyCached("BIM2 > UBTB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct topology strings share a memo entry")
+	}
+	if _, err := ParseTopologyCached("NOSUCH9 >"); err == nil {
+		t.Error("invalid topology parsed without error")
+	}
+}
+
+// TestGeometryForConcurrent hammers one key from many goroutines: every
+// caller must observe the same retained Geometry even when builders race.
+func TestGeometryForConcurrent(t *testing.T) {
+	key := fmt.Sprintf("test\x00%s", t.Name())
+	const n = 16
+	got := make([]*Geometry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := GeometryFor(key, func() (*Geometry, error) {
+				topo, err := ParseTopology("BIM2 > UBTB1")
+				if err != nil {
+					return nil, err
+				}
+				return &Geometry{Topo: topo}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d observed a different Geometry than caller 0", i)
+		}
+	}
+}

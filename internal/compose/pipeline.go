@@ -157,6 +157,14 @@ type Pipeline struct {
 	zeroPkt pred.Packet     // read-only all-empty packet
 	metaOff []int           // per node: offset into the per-entry meta arena
 	metaTot int
+
+	// q and ev are the reusable signal payloads handed to sub-components
+	// (passing a pointer into an interface method would otherwise heap-
+	// allocate a fresh Query/Event per node per operation).  Components
+	// receive them for the duration of one call only; none retain them,
+	// which the conformance suite's alloc pins police indirectly.
+	q  pred.Query
+	ev pred.Event
 }
 
 // Resolution is the outcome of resolving one branch slot.
@@ -328,6 +336,12 @@ func overlayInto(dst, over, base pred.Packet) {
 // every stage 1..Depth (stages[d-1] is what the pipeline redirects on d
 // cycles after the query — the staged overriding of §IV-B).  Returns nil
 // when the history file is full.
+//
+// The returned stage vector is owned by the entry: it stays valid until the
+// entry dies (commit or squash) and its history-file slot is reallocated to
+// a later prediction.  The frontend's fetch-packet window always drops its
+// reference no later than that, so steady-state prediction allocates
+// nothing once the ring's per-entry buffers are warm.
 func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 	if p.hf.full() {
 		return nil, nil
@@ -335,7 +349,7 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 	p.C.Queries++
 	e := p.hf.alloc()
 	e.PC = p.Cfg.PacketBase(pc)
-	e.preSnap = p.Global.Snapshot()
+	p.Global.SnapshotInto(&e.preSnap)
 	e.prePath = p.PathH.Snapshot()
 	e.ghistLow = p.Global.Bits(64)
 	e.path = p.PathH.Bits()
@@ -360,7 +374,9 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 			case d < n.lat:
 				copy(p.outs[ni][d-1], prim)
 			case d == n.lat:
-				q := pred.Query{Cycle: cycle, PC: e.PC}
+				q := &p.q
+				q.Cycle, q.PC = cycle, e.PC
+				q.GHist, q.GRaw, q.LHist, q.Path = 0, nil, 0, 0
 				if n.lat >= 2 {
 					// Histories arrive at the end of Fetch-1 (§III-B):
 					// latency-1 components never see them.
@@ -369,10 +385,11 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 					q.LHist = e.lhist
 					q.Path = e.path
 				}
+				q.In = q.In[:0]
 				for _, ii := range n.inputs {
 					q.In = append(q.In, p.outs[ii][d-1])
 				}
-				resp := n.comp.Predict(&q)
+				resp := n.comp.Predict(q)
 				// Persist the metadata in the entry's arena (components may
 				// reuse their returned buffers on the next predict).
 				dst := e.metaBuf[p.metaOff[ni] : p.metaOff[ni]+len(resp.Meta)]
@@ -390,9 +407,14 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 			}
 		}
 	}
-	stages := make([]pred.Packet, p.depth)
+	if len(e.stages) != p.depth {
+		e.stages = make([]pred.Packet, p.depth)
+		for d := range e.stages {
+			e.stages[d] = make(pred.Packet, p.Cfg.FetchWidth)
+		}
+	}
 	for d := 1; d <= p.depth; d++ {
-		stages[d-1] = p.outs[p.rootIdx][d-1].Clone()
+		copy(e.stages[d-1], p.outs[p.rootIdx][d-1])
 	}
 	if p.trackOps {
 		// Snapshot every node's raw overlay opinion per slot (the ovl
@@ -425,12 +447,14 @@ func (p *Pipeline) Predict(cycle uint64, pc uint64) (*Entry, []pred.Packet) {
 		}
 		p.checkInvariants("Predict", cycle)
 	}
-	return e, stages
+	return e, e.stages
 }
 
-// event builds the common §III-E event payload for entry e and node ni.
-func (p *Pipeline) event(cycle uint64, e *Entry, ni int) pred.Event {
-	return pred.Event{
+// event fills the pipeline's reusable §III-E event payload for entry e and
+// node ni and returns it.  The payload is valid only for the duration of
+// the one component call it is handed to.
+func (p *Pipeline) event(cycle uint64, e *Entry, ni int) *pred.Event {
+	p.ev = pred.Event{
 		Cycle: cycle,
 		PC:    e.PC,
 		GHist: e.ghistLow,
@@ -440,6 +464,7 @@ func (p *Pipeline) event(cycle uint64, e *Entry, ni int) pred.Event {
 		Meta:  e.metas[ni],
 		Slots: e.Slots,
 	}
+	return &p.ev
 }
 
 // Accept installs the frontend's accepted view of the packet (initially the
@@ -486,8 +511,7 @@ func (p *Pipeline) fire(cycle uint64, e *Entry, shiftGlobal bool) {
 		p.PathH.Shift(e.NextPC, p.Cfg.InstOff())
 	}
 	for ni, n := range p.nodes {
-		ev := p.event(cycle, e, ni)
-		n.comp.Fire(&ev)
+		n.comp.Fire(p.event(cycle, e, ni))
 		if p.obsv != nil {
 			p.emit(obs.KFire, cycle, e, n.name, e.CfiIdx, 0, obs.MetaSum(e.metas[ni]))
 		}
@@ -504,8 +528,7 @@ func (p *Pipeline) unfire(cycle uint64, e *Entry) {
 		return
 	}
 	for ni, n := range p.nodes {
-		ev := p.event(cycle, e, ni)
-		n.comp.Repair(&ev)
+		n.comp.Repair(p.event(cycle, e, ni))
 		if p.obsv != nil {
 			p.emit(obs.KRepair, cycle, e, n.name, e.CfiIdx, 0, obs.MetaSum(e.metas[ni]))
 		}
@@ -569,7 +592,7 @@ func (p *Pipeline) ReAccept(cycle uint64, e *Entry, used pred.Packet, slots []pr
 		// history bits are preserved).
 		p.C.HistRepairs++
 		p.hf.forwardFrom(e, func(y *Entry) {
-			y.preSnap = p.Global.Snapshot()
+			p.Global.SnapshotInto(&y.preSnap)
 			y.prePath = p.PathH.Snapshot()
 			for _, b := range y.shifts {
 				p.Global.Shift(b)
@@ -626,8 +649,7 @@ func (p *Pipeline) Resolve(cycle uint64, e *Entry, slot int, taken bool, target 
 	}
 	p.fire(cycle, e, true)
 	for ni, n := range p.nodes {
-		ev := p.event(cycle, e, ni)
-		n.comp.Mispredict(&ev)
+		n.comp.Mispredict(p.event(cycle, e, ni))
 		if p.obsv != nil {
 			p.emit(obs.KMispredict, cycle, e, n.name, slot, 0, obs.MetaSum(e.metas[ni]))
 		}
@@ -652,8 +674,7 @@ func (p *Pipeline) Commit(cycle uint64, e *Entry) {
 		panic("compose: Commit on non-oldest history file entry")
 	}
 	for ni, n := range p.nodes {
-		ev := p.event(cycle, e, ni)
-		n.comp.Update(&ev)
+		n.comp.Update(p.event(cycle, e, ni))
 		if p.obsv != nil {
 			p.emit(obs.KUpdate, cycle, e, n.name, e.CfiIdx, 0, obs.MetaSum(e.metas[ni]))
 		}

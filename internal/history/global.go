@@ -107,14 +107,24 @@ func (s Snapshot) Hist() []uint64 { return s.hist }
 
 // Snapshot captures the current state.
 func (g *Global) Snapshot() Snapshot {
-	s := Snapshot{
-		hist:  append([]uint64(nil), g.hist...),
-		folds: make([]uint64, len(g.folds)),
+	var s Snapshot
+	g.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto captures the current state into s, reusing s's backing
+// arrays when they are large enough — the zero-allocation capture path the
+// history file uses for its per-entry snapshots (each entry owns its
+// snapshot buffers, so a recycled entry's capture allocates nothing).
+func (g *Global) SnapshotInto(s *Snapshot) {
+	s.hist = append(s.hist[:0], g.hist...)
+	if cap(s.folds) < len(g.folds) {
+		s.folds = make([]uint64, len(g.folds))
 	}
+	s.folds = s.folds[:len(g.folds)]
 	for i, f := range g.folds {
 		s.folds[i] = f.Fold()
 	}
-	return s
 }
 
 // Restore rewinds the register and folds to a snapshot.

@@ -232,7 +232,7 @@ func (j Sim) run(ctx context.Context, seed uint64, met *obs.Metrics) (Result, er
 	if err := ctx.Err(); err != nil {
 		return Result{}, err // batch already cancelled; don't start
 	}
-	topo, err := compose.ParseTopology(j.Topology)
+	topo, err := compose.ParseTopologyCached(j.Topology)
 	if err != nil {
 		return Result{}, err
 	}

@@ -2,6 +2,8 @@ package spec
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -75,6 +77,47 @@ type Outcome struct {
 	Timings Timings
 }
 
+// geometryFor resolves the canonical spec's pipeline geometry — parsed
+// topology, base compose options, resolved host config — through the
+// process-wide compose geometry memo.  The key is the digest prefix of the
+// geometry-bearing subset of the spec (topology, pipeline parameters, host
+// core, fetch toggles), so a sweep varying only seed/workload/instruction
+// budget hits one shared entry instead of re-parsing and re-validating per
+// run.  c must already be canonical; the memoized value is immutable and
+// shared across goroutines (per-run hooks are attached to a copy of Opt).
+func geometryFor(c *RunSpec) (*compose.Geometry, error) {
+	g := RunSpec{
+		Version:         c.Version,
+		Topology:        c.Topology,
+		Pipeline:        c.Pipeline,
+		Host:            c.Host,
+		Core:            c.Core,
+		SerializedFetch: c.SerializedFetch,
+		SFB:             c.SFB,
+	}
+	raw, err := json.Marshal(&g)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(raw)
+	key := fmt.Sprintf("geom\x00%x", sum[:16])
+	return compose.GeometryFor(key, func() (*compose.Geometry, error) {
+		opt, err := c.Pipeline.Options()
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := c.ResolveCore()
+		if err != nil {
+			return nil, err
+		}
+		topo, err := compose.ParseTopology(c.Topology)
+		if err != nil {
+			return nil, err
+		}
+		return &compose.Geometry{Topo: topo, Opt: opt, Aux: cfg}, nil
+	})
+}
+
 // Exec runs the simulation a spec describes.  It is the one execution path
 // behind cobra.Run, runner.RunSpecs, and cobra-serve: canonicalize, compose
 // the pipeline (with the fault plan and observer wired in), build the
@@ -104,11 +147,12 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 
 	sp = at.Span.Child("exec", "compose")
 	t0 = time.Now()
-	opt, err := c.Pipeline.Options()
+	geo, err := geometryFor(c)
 	if err != nil {
 		endPhase(sp, &tm.ComposeMS, t0, err)
 		return nil, err
 	}
+	opt := geo.Opt // copy: per-run hooks must not leak into the shared memo
 	opt.Paranoid = c.Paranoid
 	opt.Wrap = at.Wrap
 	if plan, perr := c.Faults.Plan(); perr != nil {
@@ -130,16 +174,8 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 		opt.Observer = tracer
 	}
 
-	cfg, err := c.ResolveCore()
-	if err != nil {
-		endPhase(sp, &tm.ComposeMS, t0, err)
-		return nil, err
-	}
-	topo, err := compose.ParseTopology(c.Topology)
-	if err != nil {
-		endPhase(sp, &tm.ComposeMS, t0, err)
-		return nil, err
-	}
+	cfg := geo.Aux.(uarch.Config)
+	topo := geo.Topo
 	name := c.Design
 	if name == "" {
 		name = c.Topology

@@ -7,6 +7,7 @@ import (
 	"cobra/internal/components"
 	"cobra/internal/compose"
 	"cobra/internal/obs"
+	"cobra/internal/pred"
 	"cobra/internal/program"
 	"cobra/internal/stats"
 )
@@ -77,10 +78,20 @@ type Core struct {
 	stallUntil    uint64
 	inflight      []*pkt
 	fb            []fbInst
+	fbHead        int // index of the oldest live fetch-buffer entry
 	onCorrect     bool
 	predOffActive bool
 	predOffUntil  uint64
 	rasCps        []rasCp
+	rasHead       int // index of the oldest live RAS checkpoint
+
+	// freelists: steady-state fetch recycles packets, per-packet slot
+	// vectors, and pending-entry records instead of allocating (the
+	// fetch/decode loop is the simulator's hottest path).
+	pktFree   []*pkt
+	slotsFree [][]pred.SlotInfo
+	pendFree  []*pendingEntry
+	vdScratch []pred.SlotInfo // reusable viewDecode destination
 
 	// backend
 	rob      []robE
@@ -188,7 +199,13 @@ func (c *Core) robAt(i int) *robE {
 func (c *Core) pend(e *compose.Entry, n int) {
 	p := c.pending[e.Seq()]
 	if p == nil {
-		p = &pendingEntry{entry: e}
+		if k := len(c.pendFree); k > 0 {
+			p = c.pendFree[k-1]
+			c.pendFree = c.pendFree[:k-1]
+			*p = pendingEntry{entry: e}
+		} else {
+			p = &pendingEntry{entry: e}
+		}
 		c.pending[e.Seq()] = p
 	}
 	p.count += n
@@ -210,6 +227,8 @@ func (c *Core) unpend(seq uint64, commit bool) {
 	if commit && p.entry.Valid() {
 		c.bp.Commit(c.cycle, p.entry)
 	}
+	p.entry = nil
+	c.pendFree = append(c.pendFree, p)
 }
 
 // tgtProvider names the sub-component whose target opinion the frontend
@@ -237,18 +256,22 @@ func classIQ(f *fbInst) uint8 {
 	}
 }
 
+// fbLen returns the fetch-buffer occupancy (the buffer drains via a head
+// index so dequeues never shift or reallocate the backing array).
+func (c *Core) fbLen() int { return len(c.fb) - c.fbHead }
+
 // dispatch renames and inserts fetch-buffer instructions into the ROB and
 // issue queues, up to the decode width, subject to structural limits.
 func (c *Core) dispatch() {
-	if len(c.fb) == 0 {
+	if c.fbLen() == 0 {
 		c.S.FetchBubbles++
 		return
 	}
-	for n := 0; n < c.cfg.DecodeWidth && len(c.fb) > 0; n++ {
+	for n := 0; n < c.cfg.DecodeWidth && c.fbLen() > 0; n++ {
 		if c.robCount == len(c.rob) {
 			return
 		}
-		f := &c.fb[0]
+		f := &c.fb[c.fbHead]
 		iq := classIQ(f)
 		if c.iqUsed[iq] >= c.cfg.IQEntries {
 			return
@@ -281,7 +304,7 @@ func (c *Core) dispatch() {
 		if isStore {
 			c.stqUsed++
 		}
-		c.fb = c.fb[1:]
+		c.fbHead++
 	}
 }
 
@@ -415,10 +438,13 @@ func (c *Core) flushAfter(r *robE, redirect uint64) {
 	}
 	// Fetch buffer and in-flight packets are all younger than a resolving
 	// branch (in-order frontend).
-	for i := range c.fb {
+	for i := c.fbHead; i < len(c.fb); i++ {
 		c.unpend(c.fb[i].entrySeq, false)
 	}
-	c.fb = c.fb[:0]
+	c.fb, c.fbHead = c.fb[:0], 0
+	for _, pk := range c.inflight {
+		c.freePkt(pk)
+	}
 	c.inflight = c.inflight[:0]
 	// Rename table: drop mappings to flushed producers.
 	for reg := range c.rename {
@@ -431,7 +457,8 @@ func (c *Core) flushAfter(r *robE, redirect uint64) {
 	// the resolving branch, or when it sits in the *same* packet at a
 	// younger slot (a wrong-path call/ret fetched right after the branch).
 	eSeq := r.fb.entrySeq
-	for i, cp := range c.rasCps {
+	for i := c.rasHead; i < len(c.rasCps); i++ {
+		cp := c.rasCps[i]
 		if cp.entrySeq > eSeq || (cp.entrySeq == eSeq && cp.opSlot > r.fb.slot) {
 			c.ras.Restore(cp.cp)
 			c.rasCps = c.rasCps[:i]
@@ -530,8 +557,8 @@ func (c *Core) commit() {
 		}
 		c.unpend(f.entrySeq, true)
 		// Prune committed RAS checkpoints.
-		for len(c.rasCps) > 0 && c.rasCps[0].entrySeq < f.entrySeq {
-			c.rasCps = c.rasCps[1:]
+		for c.rasHead < len(c.rasCps) && c.rasCps[c.rasHead].entrySeq < f.entrySeq {
+			c.rasHead++
 		}
 		r.valid = false
 		c.robHead = (c.robHead + 1) % len(c.rob)
@@ -591,7 +618,7 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 		c.step()
 		if c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
 			panic(fmt.Sprintf("uarch: no commit for %d cycles at cycle %d (pc=%#x, rob=%d, fb=%d, inflight=%d)",
-				c.cfg.WatchdogCycles, c.cycle, c.fetchPC, c.robCount, len(c.fb), len(c.inflight)))
+				c.cfg.WatchdogCycles, c.cycle, c.fetchPC, c.robCount, c.fbLen(), len(c.inflight)))
 		}
 	}
 	c.S.Cycles = c.cycle - c.cycleBase

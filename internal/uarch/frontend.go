@@ -99,14 +99,62 @@ type rasCp struct {
 	cp       components.RASCheckpoint
 }
 
-// viewDecode extracts the frontend's working view from a prediction packet:
-// per-slot speculation records for branch slots the predictor knows about,
-// the packet-ending CFI, and the next fetch PC.  A taken prediction without
-// a target cannot redirect (the redirect waits for pre-decode).
-func (c *Core) viewDecode(base uint64, start int, v pred.Packet) (slots []pred.SlotInfo, cfi int, next uint64) {
+// scratchSlots returns the shared viewDecode destination buffer, allocating
+// it on first use.  Never referenced by an in-flight packet: installing a
+// scratch-built view into a packet swaps the two buffers.
+func (c *Core) scratchSlots() []pred.SlotInfo {
+	if c.vdScratch == nil {
+		c.vdScratch = make([]pred.SlotInfo, c.cfg.Fetch.FetchWidth)
+	}
+	return c.vdScratch
+}
+
+// newSlots returns a zeroed fetch-width slot vector, recycling freed ones.
+func (c *Core) newSlots() []pred.SlotInfo {
+	if k := len(c.slotsFree); k > 0 {
+		s := c.slotsFree[k-1]
+		c.slotsFree = c.slotsFree[:k-1]
+		for i := range s {
+			s[i] = pred.SlotInfo{}
+		}
+		return s
+	}
+	return make([]pred.SlotInfo, c.cfg.Fetch.FetchWidth)
+}
+
+// newPkt returns a reset packet from the freelist (or a fresh one).
+func (c *Core) newPkt() *pkt {
+	if k := len(c.pktFree); k > 0 {
+		pk := c.pktFree[k-1]
+		c.pktFree = c.pktFree[:k-1]
+		*pk = pkt{}
+		return pk
+	}
+	return &pkt{}
+}
+
+// freePkt recycles a packet that left the in-flight window, reclaiming its
+// slot vector.  The compose entry and stage buffers it referenced are owned
+// by the history file, not the packet.
+func (c *Core) freePkt(pk *pkt) {
+	if pk.slots != nil {
+		c.slotsFree = append(c.slotsFree, pk.slots)
+	}
+	*pk = pkt{}
+	c.pktFree = append(c.pktFree, pk)
+}
+
+// viewDecode extracts the frontend's working view from a prediction packet
+// into the caller-provided slot vector (zeroed here): per-slot speculation
+// records for branch slots the predictor knows about, the packet-ending CFI,
+// and the next fetch PC.  A taken prediction without a target cannot
+// redirect (the redirect waits for pre-decode).
+func (c *Core) viewDecode(base uint64, start int, v pred.Packet, slots []pred.SlotInfo) (cfi int, next uint64) {
 	w := c.cfg.Fetch.FetchWidth
 	ib := uint64(c.cfg.Fetch.InstBytes)
-	slots = make([]pred.SlotInfo, w)
+	for i := range slots {
+		slots[i] = pred.SlotInfo{}
+	}
 	cfi = -1
 	next = base + uint64(c.cfg.Fetch.PktBytes())
 	for i := start; i < w; i++ {
@@ -133,10 +181,10 @@ func (c *Core) viewDecode(base uint64, start int, v pred.Packet) (slots []pred.S
 			for j := i + 1; j < w; j++ {
 				slots[j] = pred.SlotInfo{}
 			}
-			return slots, cfi, next
+			return cfi, next
 		}
 	}
-	return slots, cfi, next
+	return cfi, next
 }
 
 // isSFB reports whether a branch qualifies for short-forwards-branch
@@ -169,7 +217,10 @@ func (c *Core) predecode(pk *pkt) {
 	w := c.cfg.Fetch.FetchWidth
 	ib := uint64(c.cfg.Fetch.InstBytes)
 	view := pk.stages[len(pk.stages)-1]
-	slots := make([]pred.SlotInfo, w)
+	slots := c.scratchSlots()
+	for i := range slots {
+		slots[i] = pred.SlotInfo{}
+	}
 	cfi := -1
 	next := pk.base + uint64(c.cfg.Fetch.PktBytes())
 	end := w - 1
@@ -230,6 +281,10 @@ scan:
 	// RAS operations happen once, checkpointed into the repair log first.
 	// The checkpoint records which slot performs the operation so a
 	// mispredict at an older slot of the same packet can undo it.
+	if c.rasHead > 0 && len(c.rasCps) == cap(c.rasCps) {
+		n := copy(c.rasCps, c.rasCps[c.rasHead:])
+		c.rasCps, c.rasHead = c.rasCps[:n], 0
+	}
 	c.rasCps = append(c.rasCps, rasCp{entrySeq: pk.e.Seq(), opSlot: cfi, cp: c.ras.Checkpoint()})
 	if rasRet {
 		if tgt, ok := c.ras.Pop(); ok {
@@ -263,6 +318,9 @@ scan:
 		}
 	}
 	pk.view = view
+	// Exchange the scratch vector with the packet's: the invariant that no
+	// in-flight packet references vdScratch is preserved by the swap.
+	c.vdScratch = pk.slots
 	pk.slots = slots
 	pk.cfiIdx = cfi
 	pk.nextPC = next
@@ -300,6 +358,9 @@ func slotsEqual(a, b []pred.SlotInfo) bool {
 func (c *Core) dropYoungerPkts(pk *pkt) {
 	for i, q := range c.inflight {
 		if q == pk {
+			for _, y := range c.inflight[i+1:] {
+				c.freePkt(y)
+			}
 			c.inflight = c.inflight[:i+1]
 			return
 		}
@@ -311,7 +372,7 @@ func (c *Core) dropYoungerPkts(pk *pkt) {
 // buffer lacks space.
 func (c *Core) deliver(pk *pkt) bool {
 	need := pk.endSlot - pk.start + 1
-	if len(c.fb)+need > c.cfg.FetchBufferCap {
+	if c.fbLen()+need > c.cfg.FetchBufferCap {
 		return false // packet waits for fetch-buffer space
 	}
 	ib := uint64(c.cfg.Fetch.InstBytes)
@@ -364,7 +425,15 @@ func (c *Core) deliver(pk *pkt) bool {
 	return true
 }
 
-func (c *Core) pushFB(f fbInst) { c.fb = append(c.fb, f) }
+func (c *Core) pushFB(f fbInst) {
+	if c.fbHead > 0 && len(c.fb) == cap(c.fb) {
+		// Reclaim dequeued headroom instead of growing: copy the live tail
+		// down so the buffer's allocation is reused for the whole run.
+		n := copy(c.fb, c.fb[c.fbHead:])
+		c.fb, c.fbHead = c.fb[:n], 0
+	}
+	c.fb = append(c.fb, f)
+}
 
 // frontendAdvance ages in-flight packets: applies deeper-stage overrides
 // (the composer's redirect logic, §IV-B), pre-decodes, and delivers.
@@ -388,9 +457,11 @@ func (c *Core) frontendAdvance() {
 				continue
 			}
 			v := pk.stages[d-1]
-			slots, cfi, next := c.viewDecode(pk.base, pk.start, v)
+			slots := c.scratchSlots()
+			cfi, next := c.viewDecode(pk.base, pk.start, v, slots)
 			if next != pk.nextPC {
 				c.bp.ReAccept(c.cycle, pk.e, v, slots, cfi, next, true)
+				c.vdScratch = pk.slots // swap scratch with the packet's vector
 				pk.view, pk.slots, pk.cfiIdx, pk.nextPC = v, slots, cfi, next
 				c.dropYoungerPkts(pk)
 				c.fetchPC = next
@@ -409,6 +480,7 @@ func (c *Core) frontendAdvance() {
 			if !blocked && c.deliver(pk) {
 				// Delivered: remove from the in-flight window.
 				c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+				c.freePkt(pk)
 				continue
 			}
 			blocked = true
@@ -425,7 +497,7 @@ func (c *Core) fetch() {
 	if len(c.inflight) >= c.bp.Opt.HFEntries/2 || c.bp.Full() {
 		return
 	}
-	if len(c.fb) >= c.cfg.FetchBufferCap {
+	if c.fbLen() >= c.cfg.FetchBufferCap {
 		return
 	}
 	e, stages := c.bp.Predict(c.cycle, c.fetchPC)
@@ -434,12 +506,15 @@ func (c *Core) fetch() {
 	}
 	base := c.cfg.Fetch.PacketBase(c.fetchPC)
 	start := c.cfg.Fetch.SlotOf(c.fetchPC)
-	slots, cfi, next := c.viewDecode(base, start, stages[0])
+	slots := c.newSlots()
+	cfi, next := c.viewDecode(base, start, stages[0], slots)
 	c.bp.Accept(c.cycle, e, stages[0], slots, cfi, next)
-	c.inflight = append(c.inflight, &pkt{
+	pk := c.newPkt()
+	*pk = pkt{
 		e: e, stages: stages, base: base, start: start,
 		view: stages[0], slots: slots, cfiIdx: cfi, nextPC: next,
 		age: 1, born: c.cycle,
-	})
+	}
+	c.inflight = append(c.inflight, pk)
 	c.fetchPC = next
 }

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -111,32 +112,99 @@ func TestEventStreamFromSim(t *testing.T) {
 	}
 }
 
-// TestNilObserverAllocBaseline is the disabled-path regression guard: the
-// warmed Predict/Commit loop without an observer must stay on the recorded
-// pre-observability allocation baseline (20 allocs/op, from the seed
-// revision's BenchmarkPipelinePredict — all from the per-stage packet clones).
-// A single extra allocation per op would dwarf the 2% overhead budget, so
-// this machine-independent count is the CI-enforceable form of the timing
-// guard; see DESIGN.md §9 and BenchmarkPipelineNoObserver.
-func TestNilObserverAllocBaseline(t *testing.T) {
-	const baselineAllocsPerOp = 20
-	p, err := TAGEL().Build()
-	if err != nil {
+// allocsOf measures the heap allocations performed by one call to f,
+// pinned to a single P the way testing.AllocsPerRun is.  Used for the
+// one-shot phases (compose, arena warm-up) that AllocsPerRun's own warm-up
+// call would consume.
+func allocsOf(f func()) uint64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestPhaseAllocBudgets is the allocation-budget wall, replacing the old
+// single pinned-at-20 nil-observer baseline (the per-stage packet clones and
+// per-signal Query/Event escapes it pinned are gone).  Each simulation phase
+// gets its own machine-independent budget:
+//
+//   - compose: building a Table I pipeline is construction, budgeted but not
+//     hot (~160-240 allocs);
+//   - warm-up: the first pass through the 32-entry history-file ring grows
+//     the per-entry arenas (snapshots, metadata, stage buffers) exactly once
+//     (~230-260 allocs for 4096 steps);
+//   - steady state: the warmed Predict/Commit loop must allocate NOTHING —
+//     zero is exact, enforced by testing.AllocsPerRun;
+//   - steady-state simulate: a full uarch run (fetch buffer, packets, slot
+//     vectors, pending entries all pooled) stays under a fraction of an
+//     allocation per instruction once the workload program is memoized.
+//
+// A single new allocation per op would dwarf the 2% observer overhead
+// budget, so these counts are the CI-enforceable form of the timing guard;
+// see DESIGN.md §9/§12, BenchmarkPipelineNoObserver, and cmd/cobra-bench
+// (which records the same numbers in BENCH_*.json).
+func TestPhaseAllocBudgets(t *testing.T) {
+	const (
+		composeBudget = 512 // allocs to build one Table I design
+		warmupBudget  = 768 // allocs for the first 4096 Predict/Commit steps
+		warmupSteps   = 4096
+	)
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			if got := allocsOf(func() {
+				if _, err := d.Build(); err != nil {
+					t.Fatal(err)
+				}
+			}); got > composeBudget {
+				t.Errorf("compose: %d allocs, budget %d", got, composeBudget)
+			}
+			p, err := d.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycle := uint64(0)
+			step := func() {
+				e, _ := p.Predict(cycle, 0x1000+(cycle%64)*16)
+				if e != nil {
+					p.Commit(cycle, e)
+				}
+				cycle++
+			}
+			if got := allocsOf(func() {
+				for i := 0; i < warmupSteps; i++ {
+					step()
+				}
+			}); got > warmupBudget {
+				t.Errorf("warmup: %d allocs for %d steps, budget %d", got, warmupSteps, warmupBudget)
+			}
+			if avg := testing.AllocsPerRun(2000, step); avg != 0 {
+				t.Errorf("steady state: %.2f allocs per Predict/Commit op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestSimulateAllocBudget pins the steady-state allocation rate of a full
+// out-of-order simulation: with the workload program memoized, a 50k-inst
+// run must stay under 0.2 allocs per committed instruction (measured ~0.014;
+// the seed revision sat near 4.4).
+func TestSimulateAllocBudget(t *testing.T) {
+	const insts = 50_000
+	rc := RunConfig{Design: TAGEL(), Workload: "gcc", MaxInsts: insts}
+	if _, err := Run(rc); err != nil { // warm the workload memo
 		t.Fatal(err)
 	}
-	cycle := uint64(0)
-	step := func() {
-		e, _ := p.Predict(cycle, 0x1000+(cycle%64)*16)
-		if e != nil {
-			p.Commit(cycle, e)
+	got := allocsOf(func() {
+		if _, err := Run(rc); err != nil {
+			t.Fatal(err)
 		}
-		cycle++
-	}
-	for i := 0; i < 4096; i++ { // warm the entry arenas
-		step()
-	}
-	if avg := testing.AllocsPerRun(2000, step); avg != baselineAllocsPerOp {
-		t.Errorf("nil-observer Predict/Commit allocates %.2f per op, recorded baseline is %d",
-			avg, baselineAllocsPerOp)
+	})
+	if perInst := float64(got) / insts; perInst > 0.2 {
+		t.Errorf("steady-state simulate: %d allocs over %d insts = %.3f/inst, budget 0.2",
+			got, insts, perInst)
 	}
 }
