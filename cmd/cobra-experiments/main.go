@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"cobra/internal/cli"
+	"cobra/internal/client"
 	"cobra/internal/experiments"
 )
 
@@ -35,8 +36,9 @@ func run() error {
 	f := cli.AddRunFlags(flag.CommandLine,
 		cli.GBudget|cli.GGuard|cli.GTelemetry|cli.GProgress)
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiment ids")
-		jobs = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
+		exp    = flag.String("exp", "all", "comma-separated experiment ids")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
+		server = flag.String("server", "", "execute simulation grids on the cobra-serve daemon at this URL (tables identical to local; in-process-only experiments still run locally)")
 	)
 	flag.Parse()
 	if exit, err := f.Handle("cobra-experiments"); err != nil || exit {
@@ -44,6 +46,16 @@ func run() error {
 	}
 	cfg := experiments.Config{Insts: *f.Insts, Warmup: *f.Warmup, Seed: *f.Seed,
 		Parallelism: *jobs, Paranoid: *f.Paranoid, Timeout: *f.Timeout}
+	if *server != "" {
+		logger, err := f.Logger("cobra-experiments")
+		if err != nil {
+			return err
+		}
+		cfg.Remote, err = client.New(client.Config{BaseURL: *server, Log: logger})
+		if err != nil {
+			return err
+		}
+	}
 	met, progress, closeTel, err := f.Telemetry("cobra-experiments")
 	if err != nil {
 		return err

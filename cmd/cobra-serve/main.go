@@ -44,6 +44,8 @@ func run() error {
 		queueLen     = flag.Int("queue", 64, "pending-job bound; a full queue answers 429")
 		cacheN       = flag.Int("cache", 256, "in-memory result cache entries")
 		cacheDir     = flag.String("cache-dir", "", "persist results in this directory (must exist; empty = memory only)")
+		journalPath  = flag.String("journal", "", "durable run-journal path (default <cache-dir>/journal.wal; accepted runs survive crashes and are re-executed on restart)")
+		jobRetries   = flag.Int("job-retries", 2, "automatic retries (with backoff) before a failed run lands in the failure FIFO (-1 = none)")
 		traceN       = flag.Int("traces", 256, "per-run request traces kept live for /v1/runs/{id}/trace")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock cap on top of each spec's own timeout (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long shutdown waits for queued jobs before abandoning them")
@@ -68,15 +70,24 @@ func run() error {
 	if *quiet {
 		jobLog = cli.DiscardLogger()
 	}
-	srv := serve.New(serve.Config{
+	retries := *jobRetries
+	if retries == 0 {
+		retries = -1 // flag 0 means "no retries"; Config 0 means "default"
+	}
+	srv, err := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueLen:     *queueLen,
 		CacheEntries: *cacheN,
 		CacheDir:     *cacheDir,
+		JournalPath:  *journalPath,
+		JobRetries:   retries,
 		TraceEntries: *traceN,
 		JobTimeout:   *jobTimeout,
 		Log:          jobLog,
 	})
+	if err != nil {
+		return err
+	}
 	srv.Start()
 
 	if *pprofAddr != "" {

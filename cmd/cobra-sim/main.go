@@ -10,9 +10,11 @@
 //	cobra-sim -design tage-l -workload gcc -events trace.json -top-branches 10
 //	cobra-sim -design b2 -workload gcc -print-spec > run.json
 //	cobra-sim -spec run.json
+//	cobra-sim -design b2 -workload gcc -server http://localhost:8080
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +22,7 @@ import (
 	"strings"
 
 	"cobra/internal/cli"
+	"cobra/internal/client"
 	"cobra/internal/obs"
 	"cobra/internal/spec"
 	"cobra/internal/stats"
@@ -32,6 +35,7 @@ func run() error {
 		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GFaults|cli.GEvents|cli.GTelemetry)
 	specPath := flag.String("spec", "", "run the RunSpec JSON file at this path (run-shaping flags are ignored; -events/-top-branches still apply)")
 	printSpec := flag.Bool("print-spec", false, "print the canonical RunSpec JSON to stdout and its digest to stderr, then exit without running")
+	server := flag.String("server", "", "execute on the cobra-serve daemon at this URL instead of in-process (retries ride out restarts; results are byte-identical)")
 	verbose := flag.Bool("v", false, "print extended counters")
 	flag.Parse()
 	if exit, err := f.Handle("cobra-sim"); err != nil || exit {
@@ -77,6 +81,10 @@ func run() error {
 		return nil
 	}
 
+	if *server != "" {
+		return runRemote(*server, s, f, *verbose)
+	}
+
 	met, _, closeTel, err := f.Telemetry("cobra-sim")
 	if err != nil {
 		return err
@@ -109,6 +117,54 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runRemote executes the spec on a cobra-serve daemon instead of in-process.
+// The spec digest keys the conversation, so the daemon's answer — fresh,
+// cached, or recomputed after a crash — is byte-identical to a local run;
+// the retrying client rides out restarts, backpressure, and drains.
+func runRemote(server string, s *spec.RunSpec, f *cli.RunFlags, verbose bool) error {
+	if f.TopBranches != nil && *f.TopBranches > 0 {
+		return fmt.Errorf("-top-branches needs the in-process attribution profile; run without -server")
+	}
+	logger, err := f.Logger("cobra-sim")
+	if err != nil {
+		return err
+	}
+	cl, err := client.New(client.Config{BaseURL: server, Log: logger})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if f.Timeout != nil && *f.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *f.Timeout)
+		defer cancel()
+	}
+	res, err := cl.Run(ctx, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design=%s topology=%q workload=%s server=%s%s\n",
+		s.Design, s.Topology, s.Workload, server, retriesTag(res))
+	fmt.Println(res.Stats)
+	if verbose {
+		printVerbose(res.Stats)
+		printProviders(res.Stats)
+	}
+	if f.Events != nil && *f.Events != "" {
+		if err := writeEvents(*f.Events, res.Events, res.EventsTotal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func retriesTag(res *client.Result) string {
+	if res.Retries > 0 {
+		return fmt.Sprintf(" retries=%d", res.Retries)
+	}
+	return ""
 }
 
 // writeEvents exports the captured event trace to path: Chrome trace_event

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"cobra/internal/area"
+	"cobra/internal/client"
 	"cobra/internal/commercial"
 	"cobra/internal/compose"
 	"cobra/internal/obs"
@@ -48,6 +50,15 @@ type Config struct {
 	// Metrics, when non-nil, receives live batch telemetry from every grid
 	// the experiments fan out (served by cobra-experiments -metrics-addr).
 	Metrics *obs.Metrics
+
+	// Remote, when non-nil, executes every runAll grid on a cobra-serve
+	// daemon instead of in-process: each grid point becomes a canonical
+	// RunSpec carrying the exact per-index seed the local runner would
+	// derive, so the returned counters are byte-identical to a local run.
+	// Experiments that need in-process handles (pipeline inspection for
+	// energy accounting, attribution profiles, pre-built programs) keep
+	// running locally.
+	Remote *client.Client
 	// Progress, when non-nil, gets a periodic one-line status report while
 	// a grid runs (cobra-experiments -progress).
 	Progress io.Writer
@@ -140,8 +151,13 @@ func (c Config) runnerOptions() runner.Options {
 }
 
 // runAll fans an experiment's independent simulations out across
-// c.Parallelism workers; results come back in submission order.
+// c.Parallelism workers; results come back in submission order.  With
+// Config.Remote set the same grid executes on a cobra-serve daemon instead,
+// byte-identically (see runAllRemote).
 func (c Config) runAll(jobs []runner.Sim) []*stats.Sim {
+	if c.Remote != nil && remotable(jobs) {
+		return c.runAllRemote(jobs)
+	}
 	full, err := runner.RunFull(jobs, c.runnerOptions())
 	if err != nil {
 		panic("experiments: " + err.Error())
@@ -150,6 +166,52 @@ func (c Config) runAll(jobs []runner.Sim) []*stats.Sim {
 	for i, r := range full {
 		checkParanoid(jobs[i].Topology, jobs[i].Workload, r.Pipeline)
 		out[i] = r.Sim
+	}
+	return out
+}
+
+// remotable reports whether every job in a grid can be described as a
+// RunSpec: jobs carrying a pre-built program (custom fetch geometries) have
+// no workload reference and must run in-process.
+func remotable(jobs []runner.Sim) bool {
+	for _, j := range jobs {
+		if j.Prog != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runAllRemote submits a grid to the daemon Config.Remote points at.  Job i
+// becomes the canonical RunSpec with seed Derive(c.Seed, i) — exactly the
+// seed the local RunFull path would hand it — so the daemon's counters (and
+// therefore every printed table cell) match a local run bit for bit.  The
+// paranoid guard still holds remotely: the spec carries the flag and
+// spec.Exec fails the run on any invariant violation, which surfaces here
+// as a run error.  Failures panic like the local path does.
+func (c Config) runAllRemote(jobs []runner.Sim) []*stats.Sim {
+	type outcome struct {
+		s   *stats.Sim
+		err error
+	}
+	res := runner.Map(c.Parallelism, len(jobs), func(i int) outcome {
+		sp, err := runner.FromSim(jobs[i], runner.Derive(c.Seed, uint64(i)))
+		if err != nil {
+			return outcome{err: err}
+		}
+		r, err := c.Remote.Run(context.Background(), sp)
+		if err != nil {
+			return outcome{err: err}
+		}
+		return outcome{s: r.Stats}
+	})
+	out := make([]*stats.Sim, len(res))
+	for i, r := range res {
+		if r.err != nil {
+			panic(fmt.Sprintf("experiments: remote %q on %s: %v",
+				jobs[i].Topology, jobs[i].Workload, r.err))
+		}
+		out[i] = r.s
 	}
 	return out
 }

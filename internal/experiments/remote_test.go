@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cobra/internal/client"
+	"cobra/internal/runner"
+	"cobra/internal/serve"
+	"cobra/internal/uarch"
+	"cobra/internal/workloads"
+)
+
+// TestRemoteMatchesLocal: a grid executed through Config.Remote — specs
+// submitted to an in-process cobra-serve daemon — renders the exact same
+// table as the in-process runner, because each grid point carries the same
+// derived seed either way.  This is the tentpole equivalence behind
+// `cobra-experiments -server`.
+func TestRemoteMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation grid twice")
+	}
+	srv, err := serve.New(serve.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	}()
+	cl, err := client.New(client.Config{BaseURL: ts.URL, Poll: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := Config{Insts: 30_000, Seed: 42, Parallelism: 4}
+	remote := local
+	remote.Remote = cl
+	want := TageLatency(local).String()
+	got := TageLatency(remote).String()
+	if got != want {
+		t.Errorf("remote table differs from local:\n--- local ---\n%s--- remote ---\n%s", want, got)
+	}
+
+	// A grid with pre-built programs is not remotable and must fall back to
+	// the local path transparently (same bytes trivially, but it must not
+	// panic or try to submit).
+	if w, g := AblationWidth(local).String(), AblationWidth(remote).String(); g != w {
+		t.Errorf("non-remotable fallback differs:\n--- local ---\n%s--- fallback ---\n%s", w, g)
+	}
+}
+
+// TestRemotableDetection: jobs carrying a pre-built Prog flag the grid as
+// not remotable; plain workload-referencing jobs are.
+func TestRemotableDetection(t *testing.T) {
+	cfg := Config{Insts: 1000, Seed: 1}.Defaults()
+	plain := cfg.job(designs()[1], "fib", uarch.DefaultConfig())
+	if !remotable([]runner.Sim{plain}) {
+		t.Error("plain workload job reported non-remotable")
+	}
+	prog, err := workloads.Get("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := plain
+	custom.Prog = prog
+	if remotable([]runner.Sim{plain, custom}) {
+		t.Error("grid with a pre-built program reported remotable")
+	}
+}

@@ -28,6 +28,15 @@ type Metrics struct {
 	insts      atomic.Uint64
 	eventDrops atomic.Uint64 // events lost to tracer ring overflow
 
+	// Crash-safety accounting (internal/serve): corrupt cache entries
+	// quarantined instead of served, digests re-enqueued by journal replay,
+	// journal records skipped as unreadable, and failed jobs retried before
+	// landing in the failure FIFO.
+	cacheCorrupt    atomic.Uint64
+	journalReplayed atomic.Uint64
+	journalSkipped  atomic.Uint64
+	jobRetries      atomic.Uint64
+
 	// Latency/rate distributions (Prometheus histograms).  The serve-side
 	// families stay at zero count in batch tools; the job families fill from
 	// any runner batch.
@@ -114,6 +123,38 @@ func (m *Metrics) AddEventDrops(n uint64) {
 	}
 }
 
+// AddCacheCorrupt counts disk-cache entries that failed checksum
+// verification and were quarantined instead of served.
+func (m *Metrics) AddCacheCorrupt(n uint64) {
+	if m != nil {
+		m.cacheCorrupt.Add(n)
+	}
+}
+
+// AddJournalReplayed counts digests the run journal re-enqueued on startup
+// because they were accepted before a crash but never completed.
+func (m *Metrics) AddJournalReplayed(n uint64) {
+	if m != nil {
+		m.journalReplayed.Add(n)
+	}
+}
+
+// AddJournalSkipped counts journal records replay could not use (torn final
+// write, checksum mismatch, unknown record type from a future version).
+func (m *Metrics) AddJournalSkipped(n uint64) {
+	if m != nil {
+		m.journalSkipped.Add(n)
+	}
+}
+
+// AddJobRetries counts automatic re-executions of failed jobs before they
+// land in the failure FIFO.
+func (m *Metrics) AddJobRetries(n uint64) {
+	if m != nil {
+		m.jobRetries.Add(n)
+	}
+}
+
 // AddJobs records n submitted jobs.
 func (m *Metrics) AddJobs(n int) {
 	if m != nil {
@@ -159,6 +200,10 @@ type Snapshot struct {
 	JobsTotal, JobsStarted, JobsDone, JobsFailed uint64
 	Cycles, Instructions                         uint64
 	EventDrops                                   uint64
+	CacheCorrupt                                 uint64
+	JournalReplayed                              uint64
+	JournalSkipped                               uint64
+	JobRetries                                   uint64
 	Uptime                                       time.Duration
 	KCyclesPerSec                                float64 // simulation rate
 }
@@ -166,14 +211,18 @@ type Snapshot struct {
 // Snap reads the counters.
 func (m *Metrics) Snap() Snapshot {
 	s := Snapshot{
-		JobsTotal:    m.jobsTotal.Load(),
-		JobsStarted:  m.jobsStarted.Load(),
-		JobsDone:     m.jobsDone.Load(),
-		JobsFailed:   m.jobsFailed.Load(),
-		Cycles:       m.cycles.Load(),
-		Instructions: m.insts.Load(),
-		EventDrops:   m.eventDrops.Load(),
-		Uptime:       time.Since(m.start),
+		JobsTotal:       m.jobsTotal.Load(),
+		JobsStarted:     m.jobsStarted.Load(),
+		JobsDone:        m.jobsDone.Load(),
+		JobsFailed:      m.jobsFailed.Load(),
+		Cycles:          m.cycles.Load(),
+		Instructions:    m.insts.Load(),
+		EventDrops:      m.eventDrops.Load(),
+		CacheCorrupt:    m.cacheCorrupt.Load(),
+		JournalReplayed: m.journalReplayed.Load(),
+		JournalSkipped:  m.journalSkipped.Load(),
+		JobRetries:      m.jobRetries.Load(),
+		Uptime:          time.Since(m.start),
 	}
 	if sec := s.Uptime.Seconds(); sec > 0 {
 		s.KCyclesPerSec = float64(s.Cycles) / 1000 / sec
@@ -189,6 +238,9 @@ func (m *Metrics) Expo() string {
 	line := func(name, help string, v interface{}) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
 	}
+	counter := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
 	line("cobra_jobs_total", "simulation jobs submitted to the runner", s.JobsTotal)
 	line("cobra_jobs_running", "jobs currently executing", s.JobsStarted-s.JobsDone)
 	line("cobra_jobs_done", "jobs finished (including failures)", s.JobsDone)
@@ -198,6 +250,10 @@ func (m *Metrics) Expo() string {
 	line("cobra_sim_kcycles_per_second", "aggregate simulation rate", fmt.Sprintf("%.1f", s.KCyclesPerSec))
 	line("cobra_uptime_seconds", "seconds since the metrics sink was created", fmt.Sprintf("%.1f", s.Uptime.Seconds()))
 	line("cobra_trace_events_dropped_total", "cycle-level events lost to tracer ring overflow", s.EventDrops)
+	counter("cobra_cache_corrupt_total", "disk-cache entries that failed verification and were quarantined", s.CacheCorrupt)
+	counter("cobra_journal_replayed_total", "accepted-but-incomplete digests re-enqueued by journal replay", s.JournalReplayed)
+	counter("cobra_journal_records_skipped_total", "journal records replay skipped as unreadable or unknown", s.JournalSkipped)
+	counter("cobra_job_retries_total", "automatic re-executions of failed jobs before the failure FIFO", s.JobRetries)
 	for _, h := range []*Histogram{m.queueWait, m.jobSecs, m.jobRate} {
 		if h != nil {
 			h.header(&b)

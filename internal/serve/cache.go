@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -20,16 +23,64 @@ func validDigest(id string) bool { return digestRE.MatchString(id) }
 // survives restarts.  Values are stored and returned as the exact bytes of
 // the first computation, so a cache hit is byte-identical to the original
 // response.  Safe for concurrent use.
+//
+// Disk entries are corruption-proof: every file carries a sha256 footer over
+// its payload, writes go through a fsynced temp file + atomic rename, and an
+// entry that fails verification on read is quarantined (renamed *.corrupt,
+// reported via onCorrupt) and treated as a miss — a flipped bit on disk is
+// recomputed, never replayed as truth.
 type cache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	dir   string // "" = memory only
-	// suffix versions the on-disk filenames (e.g. ".r2.json"): bumping the
+	// suffix versions the on-disk filenames (e.g. ".r3.json"): bumping the
 	// result schema orphans old files into deliberate misses rather than
 	// handing callers bytes in a shape they no longer expect.
 	suffix string
+	// onCorrupt, when non-nil, observes every quarantined entry (metrics +
+	// structured logging live in the server, not here).
+	onCorrupt func(path string, reason string)
+}
+
+// Disk-entry footer: "\n" + footerMagic + 64 hex digits + "\n", appended
+// after the payload.  The newline prefix keeps the payload visually separable
+// when a human cats the file; verification never relies on it being JSON.
+const footerMagic = "#cobra-entry-v1 sha256="
+
+// footerLen is the exact on-disk footer size.
+const footerLen = 1 + len(footerMagic) + sha256.Size*2 + 1
+
+// sealEntry appends the integrity footer to a payload.
+func sealEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(payload)+footerLen)
+	out = append(out, payload...)
+	out = append(out, '\n')
+	out = append(out, footerMagic...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	return out
+}
+
+// openEntry verifies a sealed entry and returns its payload, or the reason
+// it is untrustworthy.
+func openEntry(data []byte) ([]byte, string) {
+	if len(data) < footerLen {
+		return nil, "entry shorter than integrity footer"
+	}
+	payload, footer := data[:len(data)-footerLen], data[len(data)-footerLen:]
+	if footer[0] != '\n' || footer[len(footer)-1] != '\n' ||
+		!bytes.HasPrefix(footer[1:], []byte(footerMagic)) {
+		return nil, "missing integrity footer"
+	}
+	want := string(footer[1+len(footerMagic) : len(footer)-1])
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != want {
+		return nil, "payload sha256 " + got + " != footer " + want
+	}
+	return payload, ""
 }
 
 type centry struct {
@@ -45,7 +96,8 @@ func newCache(max int, dir, suffix string) *cache {
 }
 
 // get returns the stored bytes for key, consulting memory first and then the
-// disk store (promoting a disk hit back into memory).
+// disk store (promoting a verified disk hit back into memory).  A disk entry
+// that fails footer verification is quarantined and reported as a miss.
 func (c *cache) get(key string) ([]byte, bool) {
 	if !validDigest(key) {
 		return nil, false
@@ -61,12 +113,31 @@ func (c *cache) get(key string) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	val, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
+		return nil, false
+	}
+	val, reason := openEntry(data)
+	if reason != "" {
+		c.quarantine(path, reason)
 		return nil, false
 	}
 	c.putMem(key, val)
 	return val, true
+}
+
+// quarantine moves a failed entry aside as <path>.corrupt so it is never
+// served again but stays on disk for a post-mortem, then reports it.
+func (c *cache) quarantine(path, reason string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Rename failing (another reader already quarantined it, or the file
+		// vanished) still must not let the entry be served: remove our view.
+		os.Remove(path) //nolint:errcheck
+	}
+	if c.onCorrupt != nil {
+		c.onCorrupt(path, reason)
+	}
 }
 
 // put stores the bytes in memory and, when configured, on disk.  Disk write
@@ -79,12 +150,13 @@ func (c *cache) put(key string, val []byte) {
 	if c.dir == "" {
 		return
 	}
-	// Atomic publish so a concurrent reader never sees a torn file.
+	// Atomic publish (temp file, fsync, rename) so a concurrent reader or a
+	// mid-write crash never sees a torn file under the entry's real name.
 	tmp, err := os.CreateTemp(c.dir, ".result-*")
 	if err != nil {
 		return
 	}
-	if _, err := tmp.Write(val); err == nil && tmp.Close() == nil {
+	if _, err := tmp.Write(sealEntry(val)); err == nil && tmp.Sync() == nil && tmp.Close() == nil {
 		os.Rename(tmp.Name(), c.path(key)) //nolint:errcheck
 		return
 	}

@@ -21,7 +21,10 @@ import (
 )
 
 func TestConcurrentCacheAndFingerprint(t *testing.T) {
-	s := New(Config{Workers: 4, QueueLen: 256, CacheEntries: 8, CacheDir: t.TempDir()})
+	s, err := New(Config{Workers: 4, QueueLen: 256, CacheEntries: 8, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -34,6 +34,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,8 +50,9 @@ import (
 // changes shape (it does NOT track the RunSpec schema — spec.Version covers
 // that): the disk-cache filename carries the version, so entries written by
 // an older server become deliberate misses instead of deserialization
-// surprises.  v2 added result_version, trace_id, and the timings breakdown.
-const resultVersion = 2
+// surprises.  v2 added result_version, trace_id, and the timings breakdown;
+// v3 added the retries count and the integrity footer on disk entries.
+const resultVersion = 3
 
 // Config shapes a Server.  Zero values select the documented defaults.
 type Config struct {
@@ -64,6 +66,19 @@ type Config struct {
 	// CacheDir, when non-empty, persists results on disk so the cache
 	// survives restarts.  The directory must exist.
 	CacheDir string
+	// JournalPath overrides where the durable run journal (the WAL of
+	// accepted digests) lives.  Default: <CacheDir>/journal.wal when
+	// CacheDir is set; empty with no CacheDir runs unjournaled, and a
+	// restart then loses accepted-but-unfinished runs.
+	JournalPath string
+	// JobRetries is how many times a failed job is automatically re-executed
+	// (with backoff) before it lands in the failure FIFO.  0 selects the
+	// default (2); negative disables retries.
+	JobRetries int
+	// RetryBackoff is the base of the capped exponential backoff between
+	// retry attempts: attempt n waits min(RetryBackoff << n, 8*RetryBackoff).
+	// Default 250ms.
+	RetryBackoff time.Duration
 	// TraceEntries bounds how many per-run request traces are kept live for
 	// GET /v1/runs/{id}/trace (default 256, FIFO-evicted).
 	TraceEntries int
@@ -91,6 +106,9 @@ type Result struct {
 	// Timings breaks the original computation down by hop and phase; like
 	// WallMS it replays from cache unchanged.
 	Timings *Timings `json:"timings,omitempty"`
+	// Retries is how many failed attempts preceded this result — non-zero
+	// only when the automatic retry policy rescued the run.
+	Retries int `json:"retries,omitempty"`
 	// WallMS is the wall-clock time of the original computation; replays
 	// from cache return it unchanged (responses are byte-identical).
 	WallMS int64 `json:"wall_ms"`
@@ -108,7 +126,8 @@ type job struct {
 }
 
 // Server is the daemon state: worker pool, bounded queue, in-flight dedup
-// table, the result cache, and the per-run trace store.
+// table, the result cache, the durable run journal, and the per-run trace
+// store.
 type Server struct {
 	cfg    Config
 	met    *obs.Metrics
@@ -119,6 +138,8 @@ type Server struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 	results *cache
+	jnl     *journal     // nil = unjournaled
+	pending []pendingRun // accepted-but-incomplete runs recovered at startup
 
 	mu        sync.Mutex
 	draining  bool
@@ -127,9 +148,10 @@ type Server struct {
 	failOrder []string          // FIFO bound on failures
 }
 
-// New builds a Server; call Start to launch the workers and Handler to mount
-// the API.
-func New(cfg Config) *Server {
+// New builds a Server, replaying the run journal when one is configured;
+// call Start to launch the workers (and re-enqueue the replayed runs) and
+// Handler to mount the API.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -142,13 +164,25 @@ func New(cfg Config) *Server {
 	if cfg.TraceEntries <= 0 {
 		cfg.TraceEntries = 256
 	}
+	switch {
+	case cfg.JobRetries == 0:
+		cfg.JobRetries = 2
+	case cfg.JobRetries < 0:
+		cfg.JobRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Server{
+	if cfg.JournalPath == "" && cfg.CacheDir != "" {
+		cfg.JournalPath = filepath.Join(cfg.CacheDir, "journal.wal")
+	}
+	s := &Server{
 		cfg:      cfg,
 		met:      cfg.Metrics,
 		log:      cfg.Log,
@@ -159,23 +193,96 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		failures: make(map[string]string),
 	}
+	s.results.onCorrupt = func(path, reason string) {
+		s.met.AddCacheCorrupt(1)
+		s.log.Warn("cache: quarantined corrupt entry",
+			"path", path+".corrupt", "reason", reason)
+	}
+	if cfg.JournalPath != "" {
+		jnl, pending, skipped, err := openJournal(cfg.JournalPath, s.log)
+		if err != nil {
+			return nil, err
+		}
+		s.jnl, s.pending = jnl, pending
+		s.met.AddJournalSkipped(uint64(skipped))
+		if len(pending) > 0 || skipped > 0 {
+			s.log.Info("journal: recovered state",
+				"path", cfg.JournalPath, "pending", len(pending), "skipped_records", skipped)
+		}
+	}
+	return s, nil
 }
 
 // Metrics returns the server's telemetry sink.
 func (s *Server) Metrics() *obs.Metrics { return s.met }
 
-// Start launches the worker pool.
+// Start launches the worker pool and, when journal replay found runs that
+// were accepted before a crash but never completed, re-enqueues them in the
+// background through the normal admission bookkeeping.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if len(s.pending) > 0 {
+		go s.replayPending()
+	}
+}
+
+// replayPending re-enqueues journal-recovered runs.  A digest whose result
+// already sits in the cache only lost its done record — it is settled, not
+// re-run.  Enqueueing respects the same bounds as live submissions: it never
+// overtakes the queue capacity (it waits instead) and stops when draining
+// begins (the journal keeps the accepted records for the next start).
+func (s *Server) replayPending() {
+	for _, p := range s.pending {
+		if _, hit := s.results.get(p.digest); hit {
+			s.jnl.append(jrec{Type: recDone, Digest: p.digest})
+			s.log.Info("journal: pending run already cached",
+				"run_digest", p.digest, "phase", "replay")
+			continue
+		}
+		j := &job{spec: p.spec, digest: p.digest, tc: obs.NewTraceContext(),
+			submit: time.Now(), done: make(chan struct{})}
+		for {
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			if _, ok := s.jobs[p.digest]; ok {
+				s.mu.Unlock() // a client beat the replay to resubmitting it
+				break
+			}
+			j.enqueue = time.Now()
+			enqueued := false
+			select {
+			case s.queue <- j:
+				s.jobs[p.digest] = j
+				delete(s.failures, p.digest)
+				enqueued = true
+			default: // queue full of live traffic; yield and retry
+			}
+			s.mu.Unlock()
+			if enqueued {
+				s.met.AddJournalReplayed(1)
+				s.log.Info("run requeued from journal",
+					"run_digest", p.digest, "phase", "replay",
+					"topology", p.spec.Topology, "workload", p.spec.Workload)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 }
 
 // Shutdown drains the server: no new submissions are accepted, queued jobs
 // run to completion, and Shutdown returns when the last worker is idle — or
 // when ctx expires, in which case queued-but-unstarted work is abandoned and
-// ctx.Err() is returned.
+// ctx.Err() is returned (the journal still holds their accepted records, so
+// the next start re-enqueues them).  After a clean drain the journal is
+// fsynced and closed with every accepted digest marked complete, so an
+// immediate restart replays exactly zero runs.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -190,6 +297,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.jnl.close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -204,10 +312,15 @@ func (s *Server) worker() {
 }
 
 // runJob executes one spec through the parallel runner (panic containment,
-// per-job timeout, metrics accounting) and publishes the outcome.  The hops
-// — queue wait, worker, render, cache write — each get a span on the job's
-// trace; the runner parents the exec span (and spec.Exec's phase spans)
-// under the worker span it is handed.
+// per-job timeout, metrics accounting) and publishes the outcome, retrying
+// a failed execution up to Config.JobRetries times with capped exponential
+// backoff before it lands in the failure FIFO.  The hops — queue wait,
+// worker, render, cache write — each get a span on the job's trace; the
+// runner parents the exec span (and spec.Exec's phase spans) under the
+// worker span it is handed.  Journal choreography: a started record opens
+// every attempt, and the terminal done/failed record is appended only after
+// the cache holds the result — so a crash at any instant leaves the digest
+// pending and replay re-executes it.
 func (s *Server) runJob(j *job) {
 	j.started.Store(true)
 	pickup := time.Now()
@@ -216,37 +329,30 @@ func (s *Server) runJob(j *job) {
 	queueWait := pickup.Sub(j.enqueue)
 	s.met.ObserveQueueWait(queueWait)
 
-	wspan := rec.Start(j.tc, "worker", "worker")
-	res, err := runner.RunSpecs([]*spec.RunSpec{j.spec}, runner.Options{
-		Workers: 1, Policy: runner.FailFast, Timeout: s.cfg.JobTimeout, Metrics: s.met,
-		SpanFor: func(int) *obs.ActiveSpan { return wspan },
-	})
-	wspan.End()
-	var tmg Timings
-	if err == nil {
-		out := res[0].Outcome
-		tmg = Timings{QueueWaitMS: ms(queueWait), ExecMS: ms(res[0].Wall), Timings: out.Timings}
-		renderStart := time.Now()
-		data, merr := json.Marshal(Result{
-			ResultVersion: resultVersion,
-			Spec:          res[0].Spec,
-			Digest:        j.digest,
-			TraceID:       j.tc.TraceIDString(),
-			Stats:         out.Stats,
-			Events:        out.Events,
-			EventsTotal:   out.EventsTotal,
-			Timings:       &tmg,
-			WallMS:        time.Since(pickup).Milliseconds(),
-		})
-		rec.Record(j.tc, "render", "render", renderStart, time.Now(), nil)
-		if merr != nil {
-			err = merr
-		} else {
-			writeStart := time.Now()
-			s.results.put(j.digest, data)
-			rec.Record(j.tc, "cache", "cache.write", writeStart, time.Now(),
-				map[string]string{"bytes": fmt.Sprint(len(data))})
+	var (
+		tmg     Timings
+		err     error
+		attempt int
+	)
+	for {
+		s.jnl.append(jrec{Type: recStarted, Digest: j.digest, Attempt: attempt})
+		tmg, err = s.execAttempt(j, rec, pickup, queueWait, attempt)
+		if err == nil {
+			s.jnl.append(jrec{Type: recDone, Digest: j.digest})
+			break
 		}
+		if attempt >= s.cfg.JobRetries {
+			s.jnl.append(jrec{Type: recFailed, Digest: j.digest, Retries: attempt, Error: err.Error()})
+			break
+		}
+		backoff := retryBackoff(s.cfg.RetryBackoff, attempt)
+		s.met.AddJobRetries(1)
+		s.log.Warn("run retrying",
+			"run_digest", j.digest, "trace_id", j.tc.TraceIDString(), "phase", "retry",
+			"attempt", attempt+1, "of", s.cfg.JobRetries, "backoff_ms", ms(backoff),
+			"error", err.Error())
+		time.Sleep(backoff)
+		attempt++
 	}
 	s.mu.Lock()
 	if err != nil {
@@ -260,13 +366,66 @@ func (s *Server) runJob(j *job) {
 		s.log.Error("run failed",
 			"run_digest", j.digest, "trace_id", j.tc.TraceIDString(), "phase", "failed",
 			"queue_wait_ms", ms(queueWait), "total_ms", ms(time.Since(j.submit)),
-			"error", err.Error())
+			"retries", attempt, "error", err.Error())
 	} else {
 		s.log.Info("run done",
 			"run_digest", j.digest, "trace_id", j.tc.TraceIDString(), "phase", "done",
 			"queue_wait_ms", ms(queueWait), "exec_ms", tmg.ExecMS,
-			"simulate_ms", tmg.SimulateMS, "total_ms", ms(time.Since(j.submit)))
+			"simulate_ms", tmg.SimulateMS, "total_ms", ms(time.Since(j.submit)),
+			"retries", attempt)
 	}
+}
+
+// retryBackoff is the wait before re-executing a failed job: capped
+// exponential, base << attempt bounded at 8× base.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << min(attempt, 3)
+	if max := 8 * base; d > max {
+		d = max
+	}
+	return d
+}
+
+// execAttempt runs one execution attempt and, on success, renders the
+// Result (carrying the attempt count as its retries field) and publishes it
+// to the cache.
+func (s *Server) execAttempt(j *job, rec *obs.SpanRecorder, pickup time.Time, queueWait time.Duration, attempt int) (Timings, error) {
+	wspan := rec.Start(j.tc, "worker", "worker")
+	if attempt > 0 {
+		wspan.SetAttr("attempt", fmt.Sprint(attempt))
+	}
+	res, err := runner.RunSpecs([]*spec.RunSpec{j.spec}, runner.Options{
+		Workers: 1, Policy: runner.FailFast, Timeout: s.cfg.JobTimeout, Metrics: s.met,
+		SpanFor: func(int) *obs.ActiveSpan { return wspan },
+	})
+	wspan.End()
+	if err != nil {
+		return Timings{}, err
+	}
+	out := res[0].Outcome
+	tmg := Timings{QueueWaitMS: ms(queueWait), ExecMS: ms(res[0].Wall), Timings: out.Timings}
+	renderStart := time.Now()
+	data, merr := json.Marshal(Result{
+		ResultVersion: resultVersion,
+		Spec:          res[0].Spec,
+		Digest:        j.digest,
+		TraceID:       j.tc.TraceIDString(),
+		Stats:         out.Stats,
+		Events:        out.Events,
+		EventsTotal:   out.EventsTotal,
+		Timings:       &tmg,
+		Retries:       attempt,
+		WallMS:        time.Since(pickup).Milliseconds(),
+	})
+	rec.Record(j.tc, "render", "render", renderStart, time.Now(), nil)
+	if merr != nil {
+		return tmg, merr
+	}
+	writeStart := time.Now()
+	s.results.put(j.digest, data)
+	rec.Record(j.tc, "cache", "cache.write", writeStart, time.Now(),
+		map[string]string{"bytes": fmt.Sprint(len(data))})
+	return tmg, nil
 }
 
 // recordFailureLocked remembers a failed digest (bounded FIFO) so GET can
@@ -396,6 +555,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[digest] = j
 		delete(s.failures, digest) // a resubmission supersedes an old failure
 		s.mu.Unlock()
+		// Journal the admission durably (fsynced) before the 202 goes out:
+		// once a client has seen its run accepted, no crash may lose it.
+		if raw, merr := json.Marshal(sp); merr == nil {
+			s.jnl.append(jrec{Type: recAccepted, Digest: digest, Spec: raw})
+		} else {
+			s.log.Error("journal: marshaling accepted spec",
+				"run_digest", digest, "error", merr.Error())
+		}
 		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
 			map[string]string{"status": "202"})
 		s.log.Info("run queued",

@@ -73,7 +73,10 @@ func waitDone(t *testing.T, ts *httptest.Server, digest string) runStatus {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -198,7 +201,11 @@ func TestConcurrentDistinctRuns(t *testing.T) {
 // TestBackpressureAndDrain: a full queue answers 429 + Retry-After; shutdown
 // drains queued work and rejects new submissions with 503.
 func TestBackpressureAndDrain(t *testing.T) {
-	s := New(Config{Workers: 1, QueueLen: 1})
+	dir := t.TempDir()
+	s, err := New(Config{Workers: 1, QueueLen: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -260,13 +267,36 @@ func TestBackpressureAndDrain(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Errorf("post-drain submit: HTTP %d, want 503", code)
 	}
+
+	// Drain-then-restart: the clean drain closed the journal with every
+	// accepted digest marked complete, so a server reopened over the same
+	// directory recovers nothing and replays exactly zero runs.
+	s2, err := New(Config{Workers: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.pending) != 0 {
+		t.Errorf("restart after clean drain found %d pending runs, want 0", len(s2.pending))
+	}
+	s2.Start()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	if err := s2.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Metrics().Snap().JournalReplayed; got != 0 {
+		t.Errorf("journal_replayed = %d after clean drain, want 0", got)
+	}
 }
 
 // TestDiskCachePersists: a second server over the same cache directory
 // serves the first server's results without re-running.
 func TestDiskCachePersists(t *testing.T) {
 	dir := t.TempDir()
-	s1 := New(Config{Workers: 1, CacheDir: dir})
+	s1, err := New(Config{Workers: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s1.Start()
 	ts1 := httptest.NewServer(s1.Handler())
 	_, rs := postSpec(t, ts1, smallSpec(20))

@@ -225,7 +225,10 @@ func TestTraceNotFound(t *testing.T) {
 // TestReadiness: /healthz stays 200 through a drain (liveness), while
 // /healthz/ready flips to 503 so balancers stop routing new submissions.
 func TestReadiness(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
