@@ -24,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 
 	"cobra/internal/cli"
 	"cobra/internal/client"
@@ -51,7 +52,30 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cfg.Remote, err = client.New(client.Config{BaseURL: *server, Log: logger})
+		ccfg := client.Config{BaseURL: *server, Log: logger}
+		if f.Progress != nil && *f.Progress > 0 {
+			// Grid points run concurrently, so a single rewritable line would
+			// interleave; report phase transitions per run instead, tagged
+			// with a short digest prefix.
+			var (
+				mu   sync.Mutex
+				seen = map[string]string{}
+			)
+			ccfg.OnProgress = func(ev client.Progress) {
+				mu.Lock()
+				defer mu.Unlock()
+				if seen[ev.Digest] == ev.Phase || ev.Done {
+					return
+				}
+				seen[ev.Digest] = ev.Phase
+				id := strings.TrimPrefix(ev.Digest, "sha256:")
+				if len(id) > 12 {
+					id = id[:12]
+				}
+				fmt.Fprintf(os.Stderr, "run %s: phase=%s cycles=%d\n", id, ev.Phase, ev.Cycles)
+			}
+		}
+		cfg.Remote, err = client.New(ccfg)
 		if err != nil {
 			return err
 		}

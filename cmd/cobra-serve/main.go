@@ -52,6 +52,7 @@ func run() error {
 		quiet        = flag.Bool("quiet", false, "suppress the per-job log lines")
 	)
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof (profiles + runtime trace) on this address")
+	flightDump := flag.String("flight-dump", "", "write the flight-recorder JSON dump to this path on panic or SIGQUIT (default <cache-dir>/flight.json when -cache-dir is set)")
 	flag.Parse()
 	if exit, err := base.Handle("cobra-serve"); err != nil || exit {
 		return err
@@ -60,6 +61,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// The flight recorder is armed by the logger above; wire its crash-dump
+	// destinations.  SIGQUIT dumps the ring (plus all goroutine stacks) and
+	// exits — the on-demand "what was the daemon just doing" lever.
+	if *flightDump == "" && *cacheDir != "" {
+		*flightDump = *cacheDir + "/flight.json"
+	}
+	if *flightDump != "" {
+		obs.SetFlightDumpPath(*flightDump)
+	}
+	uninstall := obs.InstallFlightSIGQUIT()
+	defer uninstall()
 
 	if *cacheDir != "" {
 		if st, err := os.Stat(*cacheDir); err != nil || !st.IsDir() {

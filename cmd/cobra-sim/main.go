@@ -131,7 +131,8 @@ func runRemote(server string, s *spec.RunSpec, f *cli.RunFlags, verbose bool) er
 	if err != nil {
 		return err
 	}
-	cl, err := client.New(client.Config{BaseURL: server, Log: logger})
+	pl := newProgressLine(os.Stderr)
+	cl, err := client.New(client.Config{BaseURL: server, Log: logger, OnProgress: pl.update})
 	if err != nil {
 		return err
 	}
@@ -142,6 +143,7 @@ func runRemote(server string, s *spec.RunSpec, f *cli.RunFlags, verbose bool) er
 		defer cancel()
 	}
 	res, err := cl.Run(ctx, s)
+	pl.finish()
 	if err != nil {
 		return err
 	}
@@ -158,6 +160,56 @@ func runRemote(server string, s *spec.RunSpec, f *cli.RunFlags, verbose bool) er
 		}
 	}
 	return nil
+}
+
+// progressLine renders the daemon's progress stream as a single live status
+// line.  On a terminal it overwrites itself with \r; piped into a log it
+// degrades to one line per phase transition so CI output stays readable.
+type progressLine struct {
+	w         *os.File
+	tty       bool
+	lastPhase string
+	wrote     bool
+}
+
+func newProgressLine(w *os.File) *progressLine {
+	st, err := w.Stat()
+	return &progressLine{w: w, tty: err == nil && st.Mode()&os.ModeCharDevice != 0}
+}
+
+func (p *progressLine) update(ev client.Progress) {
+	if ev.Done {
+		return // the result line that follows says it all
+	}
+	line := fmt.Sprintf("%s: phase=%s", ev.Status, ev.Phase)
+	if ev.QueuePos > 0 {
+		line += fmt.Sprintf(" queue_pos=%d", ev.QueuePos)
+	}
+	if ev.Cycles > 0 {
+		line += fmt.Sprintf(" cycles=%d insts=%d", ev.Cycles, ev.Insts)
+		if ev.TargetInsts > 0 {
+			line += fmt.Sprintf("/%d", ev.TargetInsts)
+		}
+		if ev.InstsPerSec > 0 {
+			line += fmt.Sprintf(" (%.2gM insts/s)", ev.InstsPerSec/1e6)
+		}
+	}
+	if p.tty {
+		fmt.Fprintf(p.w, "\r\033[K%s", line)
+		p.wrote = true
+		return
+	}
+	if ev.Phase != p.lastPhase { // non-interactive: one line per phase
+		fmt.Fprintln(p.w, line)
+		p.lastPhase = ev.Phase
+	}
+}
+
+// finish clears the live line so the result renders on a clean row.
+func (p *progressLine) finish() {
+	if p.tty && p.wrote {
+		fmt.Fprint(p.w, "\r\033[K")
+	}
 }
 
 func retriesTag(res *client.Result) string {

@@ -125,6 +125,17 @@ func ServeMetrics(addr string, m *Metrics) (string, func() error, error) {
 // returns the bound address and a closer that releases the port.
 func ServePprof(addr string) (string, func() error, error) { return obs.ServePprof(addr) }
 
+// FlightRecorder is the process-wide bounded ring of recent structured
+// records (log lines, span completions, errors); see internal/obs.
+type FlightRecorder = obs.FlightRecorder
+
+// EnableFlightRecorder arms the always-on flight recorder with a ring of
+// capacity records (0 = default 1024) and returns it.  Idempotent: once
+// armed, later calls return the existing ring.  The cobra tools arm it
+// automatically through their shared logger; embedders call this to get
+// crash context from DumpFlightOnPanic or /debug/flight.
+func EnableFlightRecorder(capacity int) *FlightRecorder { return obs.EnableFlight(capacity) }
+
 // Injectable fault classes (see internal/faults for semantics).
 const (
 	FaultCorruptMeta   = faults.CorruptMeta

@@ -280,9 +280,12 @@ func (f *RunFlags) Telemetry(tool string) (*obs.Metrics, time.Duration, func(), 
 	return met, progress, closeAll, nil
 }
 
-// Main wraps a tool's entry point with the shared error convention:
-// "tool: error" on stderr and exit status 1.
+// Main wraps a tool's entry point with the shared error convention
+// ("tool: error" on stderr, exit status 1) and the crash post-mortem: a
+// panic on the main goroutine dumps the flight recorder before the process
+// dies with the original panic.
 func Main(tool string, run func() error) {
+	defer obs.DumpFlightOnPanic()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, tool+":", err)
 		os.Exit(1)

@@ -35,7 +35,10 @@ func (b *Base) Logger(tool string) (*slog.Logger, error) {
 }
 
 // NewLogger builds a slog logger writing format ("text", "json", or "" for
-// text) to w, with the tool name attached to every record.
+// text) to w, with the tool name attached to every record.  Every record is
+// also teed into the process flight recorder (armed here if it was not
+// already), all levels included, so a crash dump carries the recent log
+// context even when the visible log was quieter.
 func NewLogger(w io.Writer, format, tool string) (*slog.Logger, error) {
 	var h slog.Handler
 	switch format {
@@ -46,6 +49,7 @@ func NewLogger(w io.Writer, format, tool string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
 	}
+	h = obs.NewFlightHandler(h, obs.EnableFlight(0))
 	return slog.New(h).With("tool", tool), nil
 }
 

@@ -15,6 +15,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -54,6 +55,12 @@ type Config struct {
 	// Traceparent, when non-empty, is attached to every submission so the
 	// daemon's request traces join the caller's distributed trace.
 	Traceparent string
+	// OnProgress, when non-nil, receives live progress frames for each run
+	// while Run waits on it: Run opens the daemon's SSE progress stream in
+	// the background and forwards every frame.  Purely cosmetic — a broken
+	// stream never fails the run, and frames may stop arriving before the
+	// result does.
+	OnProgress func(Progress)
 	// Log receives one structured line per retry and resubmission; nil
 	// discards.
 	Log *slog.Logger
@@ -102,6 +109,25 @@ type Status struct {
 	TraceID string          `json:"trace_id,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// Resources and Flight accompany failed runs: the daemon's resource
+	// attribution for the last attempt and its flight-recorder tail.
+	Resources *obs.Resources     `json:"resources,omitempty"`
+	Flight    []obs.FlightRecord `json:"flight,omitempty"`
+}
+
+// Progress is one frame of a run's live progress stream, mirroring the
+// daemon's GET /v1/runs/{id}/progress events.
+type Progress struct {
+	Digest      string  `json:"digest"`
+	Status      string  `json:"status"` // queued, running, done, failed
+	Phase       string  `json:"phase"`
+	Cycles      uint64  `json:"cycles"`
+	Insts       uint64  `json:"insts"`
+	TargetInsts uint64  `json:"target_insts,omitempty"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	ElapsedMS   int64   `json:"elapsed_ms"`
+	QueuePos    int     `json:"queue_pos,omitempty"`
+	Done        bool    `json:"done"`
 }
 
 // Result mirrors the daemon's stored run outcome.  Raw preserves the exact
@@ -117,7 +143,10 @@ type Result struct {
 	EventsTotal   uint64          `json:"events_total,omitempty"`
 	Timings       json.RawMessage `json:"timings,omitempty"`
 	Retries       int             `json:"retries,omitempty"`
-	WallMS        int64           `json:"wall_ms"`
+	// Resources is the daemon's per-run resource attribution (result_version
+	// >= 4): CPU, allocation, and GC cost plus the wait breakdown.
+	Resources *obs.Resources `json:"resources,omitempty"`
+	WallMS    int64          `json:"wall_ms"`
 
 	Raw json.RawMessage `json:"-"`
 }
@@ -129,9 +158,14 @@ var ErrNotFound = errors.New("client: run not found")
 
 // RunError is a run the daemon executed and declared failed; retrying it
 // would recompute the same failure, so the client reports it as permanent.
+// Resources and Flight carry the daemon's post-mortem context when it sent
+// any: the failed attempt's resource attribution and the flight-recorder
+// tail around the failure.
 type RunError struct {
-	Digest  string
-	Message string
+	Digest    string
+	Message   string
+	Resources *obs.Resources
+	Flight    []obs.FlightRecord
 }
 
 func (e *RunError) Error() string {
@@ -202,19 +236,83 @@ func (c *Client) Get(ctx context.Context, digest string) (Status, error) {
 	})
 }
 
+// Watch streams a run's live progress, invoking fn for every frame until the
+// run reaches a terminal state, the stream breaks, or ctx is done.  It speaks
+// SSE when the daemon does and falls back to the single-snapshot form
+// otherwise.  Errors after the stream is open are reported as a nil return —
+// progress is cosmetic and the poll loop still settles the run.
+func (c *Client) Watch(ctx context.Context, digest string, fn func(Progress)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.cfg.BaseURL+"/v1/runs/"+digest+"/progress", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &httpError{code: resp.StatusCode, msg: "progress stream refused"}
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// Long-poll fallback: one snapshot.
+		var p Progress
+		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&p); jerr != nil {
+			return jerr
+		}
+		fn(p)
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var p Progress
+		if jerr := json.Unmarshal([]byte(line[len("data: "):]), &p); jerr != nil {
+			continue
+		}
+		fn(p)
+		if p.Done {
+			return nil
+		}
+	}
+	return nil // broken stream: the caller's poll loop still settles the run
+}
+
 // Run is the whole conversation: submit sp, poll until it settles, and
 // return the parsed Result.  It survives daemon restarts mid-run — a 404
 // for a digest the daemon accepted means an unjournaled server lost it, and
 // the client resubmits (safe: execution is deterministic and keyed by
-// digest).  A run the daemon declares failed returns a *RunError.
+// digest).  A run the daemon declares failed returns a *RunError.  When
+// Config.OnProgress is set, the daemon's live progress stream runs alongside
+// the poll loop and every frame is forwarded to it.
 func (c *Client) Run(ctx context.Context, sp *spec.RunSpec) (*Result, error) {
 	st, err := c.Submit(ctx, sp)
 	if err != nil {
 		return nil, err
 	}
+	if c.cfg.OnProgress != nil && st.Status != "done" && st.Status != "failed" {
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			if werr := c.Watch(wctx, st.Digest, c.cfg.OnProgress); werr != nil && wctx.Err() == nil {
+				c.cfg.Log.Debug("client: progress stream unavailable",
+					"run_digest", st.Digest, "error", werr.Error())
+			}
+		}()
+		defer func() { cancel(); <-watchDone }() // no frames delivered after Run returns
+	}
 	for st.Status != "done" {
 		if st.Status == "failed" {
-			return nil, &RunError{Digest: st.Digest, Message: st.Error}
+			return nil, &RunError{Digest: st.Digest, Message: st.Error,
+				Resources: st.Resources, Flight: st.Flight}
 		}
 		if err := sleep(ctx, c.cfg.Poll); err != nil {
 			return nil, err

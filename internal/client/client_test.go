@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -82,7 +83,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 // doneBody is a minimal done envelope carrying a parseable result.
 func doneBody(digest string) string {
-	return fmt.Sprintf(`{"digest":%q,"status":"done","result":{"result_version":3,"digest":%q,"stats":{},"wall_ms":1}}`,
+	return fmt.Sprintf(`{"digest":%q,"status":"done","result":{"result_version":4,"digest":%q,"stats":{},"wall_ms":1}}`,
 		digest, digest)
 }
 
@@ -283,5 +284,90 @@ func TestBackoffBounds(t *testing.T) {
 		if d <= 0 || d > time.Second {
 			t.Fatalf("backoff(%d) = %v out of (0, 1s]", n, d)
 		}
+	}
+}
+
+// TestOnProgressEndToEnd: a Run with OnProgress set against a real server
+// receives live frames from the SSE stream, ending terminally, while the
+// result itself stays byte-identical to a run without a watcher.
+func TestOnProgressEndToEnd(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	var (
+		mu     sync.Mutex
+		frames []Progress
+	)
+	slow := &spec.RunSpec{
+		Design: "tage-l", Topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+		Pipeline: spec.Pipeline{GHistBits: 64},
+		Workload: "dhrystone", Seed: 7, Insts: 300_000,
+	}
+	c := newClient(t, ts.URL, func(cfg *Config) {
+		cfg.OnProgress = func(p Progress) {
+			mu.Lock()
+			frames = append(frames, p)
+			mu.Unlock()
+		}
+	})
+	res, err := c.Run(context.Background(), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resources == nil || res.Resources.WallMS <= 0 {
+		t.Errorf("remote result carries no resource attribution: %+v", res.Resources)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frames) == 0 {
+		t.Fatal("OnProgress never fired")
+	}
+	sawCycles := false
+	for _, p := range frames {
+		if p.Digest != res.Digest {
+			t.Errorf("frame for wrong digest: %s != %s", p.Digest, res.Digest)
+		}
+		if p.Cycles > 0 {
+			sawCycles = true
+		}
+	}
+	if !sawCycles {
+		t.Error("no frame carried cycle counts from the core flush path")
+	}
+	if last := frames[len(frames)-1]; !last.Done {
+		t.Errorf("stream did not end on a terminal frame: %+v", last)
+	}
+}
+
+// TestWatchFallback: a server that answers /progress with plain JSON (no
+// SSE) still delivers exactly one snapshot to the callback.
+func TestWatchFallback(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/progress") {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"digest":%q,"status":"running","phase":"simulate","cycles":42,"done":false}`, fakeDigest)
+			return
+		}
+		t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+	}))
+	defer ts.Close()
+	var got []Progress
+	err := newClient(t, ts.URL).Watch(context.Background(), fakeDigest,
+		func(p Progress) { got = append(got, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Phase != "simulate" || got[0].Cycles != 42 {
+		t.Fatalf("fallback snapshot = %+v", got)
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-bucket latency/rate distribution rendered in the
@@ -23,6 +25,20 @@ type Histogram struct {
 	buckets []atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	count   atomic.Uint64
+
+	// Per-bucket exemplars (most recent sample with a trace ID per bucket),
+	// rendered only in the OpenMetrics exposition.  Guarded by a mutex: only
+	// the low-rate request path calls ObserveEx, never the hot loop.
+	exMu      sync.Mutex
+	exemplars []exemplar // lazily sized to len(buckets)
+}
+
+// exemplar links one observed sample to the trace that produced it, so a slow
+// histogram bucket points straight at a trace ID to pull up.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64 // unix seconds
 }
 
 // NewHistogram builds a histogram named name with the given ascending bucket
@@ -67,6 +83,35 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveEx records one sample like Observe and, when traceID is non-empty,
+// remembers it as the destination bucket's exemplar for the OpenMetrics
+// exposition.  Safe on a nil receiver.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	h.Observe(v)
+	if h == nil || traceID == "" || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	ex := exemplar{traceID: traceID, value: v, ts: float64(time.Now().UnixMicro()) / 1e6}
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.buckets))
+	}
+	h.exemplars[idx] = ex
+	h.exMu.Unlock()
+}
+
+// exemplarSnapshot returns a copy of the per-bucket exemplars (nil when none
+// were ever recorded).
+func (h *Histogram) exemplarSnapshot() []exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	return append([]exemplar(nil), h.exemplars...)
+}
+
 // Count returns how many samples were observed.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -89,15 +134,34 @@ func (h *Histogram) header(b *strings.Builder) {
 }
 
 // series writes the cumulative bucket, sum, and count lines for this
-// histogram's label set.
-func (h *Histogram) series(b *strings.Builder) {
+// histogram's label set in the classic 0.0.4 text format.
+func (h *Histogram) series(b *strings.Builder) { h.seriesEx(b, false) }
+
+// seriesEx writes the series; withExemplars appends OpenMetrics exemplar
+// suffixes (`# {trace_id="..."} value timestamp`) to bucket lines whose
+// bucket has one.  Classic 0.0.4 output never carries exemplars — the syntax
+// is OpenMetrics-only.
+func (h *Histogram) seriesEx(b *strings.Builder, withExemplars bool) {
+	var exs []exemplar
+	if withExemplars {
+		exs = h.exemplarSnapshot()
+	}
+	emit := func(i int, le string, cum uint64) {
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d", h.name, h.labelPrefix(), le, cum)
+		if exs != nil && exs[i].traceID != "" {
+			fmt.Fprintf(b, " # {trace_id=%q} %s %s", exs[i].traceID,
+				strconv.FormatFloat(exs[i].value, 'g', -1, 64),
+				strconv.FormatFloat(exs[i].ts, 'f', 6, 64))
+		}
+		b.WriteByte('\n')
+	}
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", h.name, h.labelPrefix(), formatBound(bound), cum)
+		emit(i, formatBound(bound), cum)
 	}
 	cum += h.buckets[len(h.bounds)].Load()
-	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, h.labelPrefix(), cum)
+	emit(len(h.bounds), "+Inf", cum)
 	suffix := ""
 	if h.label != "" {
 		suffix = "{" + h.label + "}"

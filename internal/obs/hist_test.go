@@ -12,6 +12,10 @@ import (
 
 var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$`)
 
+// promExemplar matches the OpenMetrics exemplar suffix that may follow a
+// bucket sample: `# {label="value"} <value> [<unix-seconds>]`.
+var promExemplar = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\} ([0-9.eE+-]+)( [0-9]+\.[0-9]+)?$`)
+
 // normLabels canonicalizes a label block: sorted pairs, braces always present.
 func normLabels(labels string) string {
 	trimmed := strings.Trim(labels, "{}")
@@ -48,7 +52,7 @@ func parsePromText(t *testing.T, text string) map[string]*promHist {
 		return hists[key]
 	}
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		if strings.HasPrefix(line, "# HELP ") {
+		if strings.HasPrefix(line, "# HELP ") || line == "# EOF" {
 			continue
 		}
 		if strings.HasPrefix(line, "# TYPE ") {
@@ -62,7 +66,8 @@ func parsePromText(t *testing.T, text string) map[string]*promHist {
 			}
 			continue
 		}
-		m := promSample.FindStringSubmatch(line)
+		sample, exemplar, hasEx := strings.Cut(line, " # ")
+		m := promSample.FindStringSubmatch(sample)
 		if m == nil {
 			t.Errorf("line is not a valid Prometheus sample: %q", line)
 			continue
@@ -72,6 +77,18 @@ func parsePromText(t *testing.T, text string) map[string]*promHist {
 		if err != nil {
 			t.Errorf("sample %q has non-numeric value: %v", line, err)
 			continue
+		}
+		exVal := math.NaN()
+		if hasEx {
+			if !strings.HasSuffix(name, "_bucket") {
+				t.Errorf("exemplar on a non-bucket sample: %q", line)
+			}
+			em := promExemplar.FindStringSubmatch(exemplar)
+			if em == nil {
+				t.Errorf("malformed exemplar %q in %q", exemplar, line)
+			} else if exVal, err = strconv.ParseFloat(em[1], 64); err != nil {
+				t.Errorf("exemplar value in %q: %v", line, err)
+			}
 		}
 		switch {
 		case strings.HasSuffix(name, "_bucket"):
@@ -96,6 +113,9 @@ func parsePromText(t *testing.T, text string) map[string]*promHist {
 			h := get(family + "{" + strings.Join(rest, ",") + "}")
 			h.les = append(h.les, le)
 			h.buckets = append(h.buckets, val)
+			if hasEx && !math.IsNaN(exVal) && !math.IsInf(le, +1) && exVal > le {
+				t.Errorf("exemplar value %g outside its le=%g bucket: %q", exVal, le, line)
+			}
 		case strings.HasSuffix(name, "_sum") && histFamilies[strings.TrimSuffix(name, "_sum")]:
 			h := get(strings.TrimSuffix(name, "_sum") + normLabels(labels))
 			h.sum, h.hasSum = val, true
@@ -214,6 +234,93 @@ func TestMetricsExpoHistograms(t *testing.T) {
 	}
 	if got := m.RequestCount(false); got != 2 {
 		t.Errorf("RequestCount(miss) = %d, want 2", got)
+	}
+}
+
+// TestOpenMetricsExemplars: ObserveRequestEx attaches trace-id exemplars
+// that render only in the OpenMetrics exposition, with valid syntax and
+// values inside their buckets; the classic exposition stays exemplar-free.
+func TestOpenMetricsExemplars(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequestEx(5*time.Millisecond, true, "aaaabbbbccccdddd0000111122223333")
+	m.ObserveRequestEx(200*time.Millisecond, false, "ffffeeeeddddcccc0000111122223333")
+
+	om := m.ExpoOpenMetrics()
+	parsePromText(t, om) // exemplar syntax + bucket invariants
+	if !strings.Contains(om, `# {trace_id="ffffeeeeddddcccc0000111122223333"}`) {
+		t.Errorf("miss exemplar missing from OpenMetrics exposition:\n%s", om)
+	}
+	if !strings.Contains(om, `# {trace_id="aaaabbbbccccdddd0000111122223333"}`) {
+		t.Errorf("hit exemplar missing from OpenMetrics exposition:\n%s", om)
+	}
+
+	classic := m.Expo()
+	parsePromText(t, classic)
+	if strings.Contains(classic, " # {") {
+		t.Error("classic Prometheus exposition leaked exemplar syntax")
+	}
+
+	// OpenMetrics counter families must be declared without the _total
+	// suffix while their samples keep it.
+	for _, line := range strings.Split(om, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") && strings.Contains(line, " counter") &&
+			strings.Contains(line, "_total ") {
+			t.Errorf("OM counter family declared with _total suffix: %q", line)
+		}
+	}
+	if !strings.Contains(om, "\ncobra_cache_corrupt_total ") {
+		t.Errorf("OM counter samples lost their _total suffix:\n%s", om)
+	}
+	if !strings.Contains(om, "# TYPE cobra_cache_corrupt counter") {
+		t.Errorf("OM counter family kept its _total suffix:\n%s", om)
+	}
+}
+
+// TestRunResourceFamilies: per-run attribution lands in the three new
+// histogram families with the right labels.
+func TestRunResourceFamilies(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRunResources(Resources{CPUUserMS: 120, GCCPUMS: 8, AllocBytes: 1 << 20})
+	hists := parsePromText(t, m.Expo())
+	for _, key := range []string{
+		`cobra_run_cpu_seconds{class="user"}`,
+		`cobra_run_cpu_seconds{class="gc"}`,
+		"cobra_run_alloc_bytes{}",
+	} {
+		h := hists[key]
+		if h == nil {
+			t.Errorf("missing histogram series %s (have %v)", key, keys(hists))
+			continue
+		}
+		if h.count != 1 {
+			t.Errorf("%s count = %g, want 1", key, h.count)
+		}
+	}
+}
+
+// TestRuntimeExpoWellFormed: the runtime/metrics-backed families pass the
+// same strict validator as the process metrics, in both exposition flavors.
+func TestRuntimeExpoWellFormed(t *testing.T) {
+	for name, text := range map[string]string{
+		"classic": RuntimeExpo(), "openmetrics": RuntimeExpoOpenMetrics(),
+	} {
+		hists := parsePromText(t, text)
+		for _, fam := range []string{"go_goroutines", "go_heap_objects_bytes", "go_heap_allocs_bytes_total"} {
+			if !strings.Contains(text, "\n"+fam+" ") {
+				t.Errorf("%s: family %s missing:\n%s", name, fam, text)
+			}
+		}
+		for _, fam := range []string{"go_gc_pause_seconds{}", "go_sched_latency_seconds{}"} {
+			if hists[fam] == nil {
+				t.Errorf("%s: histogram %s missing (have %v)", name, fam, keys(hists))
+			}
+		}
+	}
+	if !strings.Contains(RuntimeExpoOpenMetrics(), "# TYPE go_gc_cycles counter") {
+		t.Error("OM runtime counter family kept its _total suffix")
+	}
+	if !strings.Contains(RuntimeExpo(), "# TYPE go_gc_cycles_total counter") {
+		t.Error("classic runtime counter family lost its _total suffix")
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -45,6 +44,12 @@ type Metrics struct {
 	jobRate   *Histogram // cobra_job_insts_per_second
 	reqHit    *Histogram // cobra_request_seconds{result="hit"}
 	reqMiss   *Histogram // cobra_request_seconds{result="miss"}
+
+	// Per-run resource attribution (PR 8): CPU cost split by class and heap
+	// allocation volume per executed job, fed from ResourceMeter records.
+	runCPUUser *Histogram // cobra_run_cpu_seconds{class="user"}
+	runCPUGC   *Histogram // cobra_run_cpu_seconds{class="gc"}
+	runAlloc   *Histogram // cobra_run_alloc_bytes
 }
 
 // Histogram bucket ladders: wall-clock seconds from 1 ms to ~33 s, and
@@ -52,6 +57,8 @@ type Metrics struct {
 var (
 	secondsBuckets = ExpBuckets(0.001, 2, 16)
 	rateBuckets    = ExpBuckets(10_000, 4, 10)
+	// Heap allocation volume per run: 4 KiB to ~4 GiB.
+	allocBuckets = ExpBuckets(4096, 4, 11)
 )
 
 // NewMetrics returns a zeroed metrics sink with the uptime clock started.
@@ -68,6 +75,12 @@ func NewMetrics() *Metrics {
 			"end-to-end run-request latency, split by cache outcome", `result="hit"`, secondsBuckets),
 		reqMiss: NewHistogram("cobra_request_seconds",
 			"end-to-end run-request latency, split by cache outcome", `result="miss"`, secondsBuckets),
+		runCPUUser: NewHistogram("cobra_run_cpu_seconds",
+			"CPU seconds attributed to one executed run, split by class", `class="user"`, secondsBuckets),
+		runCPUGC: NewHistogram("cobra_run_cpu_seconds",
+			"CPU seconds attributed to one executed run, split by class", `class="gc"`, secondsBuckets),
+		runAlloc: NewHistogram("cobra_run_alloc_bytes",
+			"heap bytes allocated while one run executed", "", allocBuckets),
 	}
 }
 
@@ -101,6 +114,31 @@ func (m *Metrics) ObserveRequest(d time.Duration, hit bool) {
 	} else {
 		m.reqMiss.Observe(d.Seconds())
 	}
+}
+
+// ObserveRequestEx is ObserveRequest with an exemplar: the request's trace ID
+// is attached to the destination latency bucket so a slow bucket on /metrics
+// (OpenMetrics scrape) links straight to the trace to pull up.
+func (m *Metrics) ObserveRequestEx(d time.Duration, hit bool, traceID string) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.reqHit.ObserveEx(d.Seconds(), traceID)
+	} else {
+		m.reqMiss.ObserveEx(d.Seconds(), traceID)
+	}
+}
+
+// ObserveRunResources records one run's resource-attribution record into the
+// labeled cost families.
+func (m *Metrics) ObserveRunResources(r Resources) {
+	if m == nil {
+		return
+	}
+	m.runCPUUser.Observe(r.CPUUserMS / 1000)
+	m.runCPUGC.Observe(r.GCCPUMS / 1000)
+	m.runAlloc.Observe(float64(r.AllocBytes))
 }
 
 // RequestCount returns how many requests were recorded for one cache
@@ -230,16 +268,31 @@ func (m *Metrics) Snap() Snapshot {
 	return s
 }
 
-// Expo renders the Prometheus text exposition the -metrics-addr endpoint
-// serves (and expvar-style consumers can scrape).
-func (m *Metrics) Expo() string {
+// Expo renders the classic Prometheus 0.0.4 text exposition the
+// -metrics-addr endpoint serves (and expvar-style consumers can scrape).
+func (m *Metrics) Expo() string { return m.expo(false) }
+
+// ExpoOpenMetrics renders the OpenMetrics flavour: counter families are
+// declared without the `_total` suffix (samples keep it) and request-latency
+// buckets carry trace-ID exemplars.  Served when a scrape Accepts
+// application/openmetrics-text; the HTTP handler appends the mandatory
+// `# EOF` terminator after any extra families it adds.
+func (m *Metrics) ExpoOpenMetrics() string { return m.expo(true) }
+
+func (m *Metrics) expo(om bool) string {
 	s := m.Snap()
 	var b strings.Builder
 	line := func(name, help string, v interface{}) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
 	}
 	counter := func(name, help string, v interface{}) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+		fam := name
+		if om {
+			// OpenMetrics declares the counter family without _total; the
+			// sample line keeps the suffix.
+			fam = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", fam, help, fam, name, v)
 	}
 	line("cobra_jobs_total", "simulation jobs submitted to the runner", s.JobsTotal)
 	line("cobra_jobs_running", "jobs currently executing", s.JobsStarted-s.JobsDone)
@@ -254,20 +307,35 @@ func (m *Metrics) Expo() string {
 	counter("cobra_journal_replayed_total", "accepted-but-incomplete digests re-enqueued by journal replay", s.JournalReplayed)
 	counter("cobra_journal_records_skipped_total", "journal records replay skipped as unreadable or unknown", s.JournalSkipped)
 	counter("cobra_job_retries_total", "automatic re-executions of failed jobs before the failure FIFO", s.JobRetries)
-	for _, h := range []*Histogram{m.queueWait, m.jobSecs, m.jobRate} {
+	for _, h := range []*Histogram{m.queueWait, m.jobSecs, m.jobRate, m.runAlloc} {
 		if h != nil {
 			h.header(&b)
 			h.series(&b)
 		}
 	}
-	// The hit/miss request split is one family: one HELP/TYPE header, two
+	// The labeled splits are one family each: one HELP/TYPE header, two
 	// labeled series.
 	if m.reqHit != nil && m.reqMiss != nil {
 		m.reqHit.header(&b)
-		m.reqHit.series(&b)
-		m.reqMiss.series(&b)
+		m.reqHit.seriesEx(&b, om)
+		m.reqMiss.seriesEx(&b, om)
+	}
+	if m.runCPUUser != nil && m.runCPUGC != nil {
+		m.runCPUUser.header(&b)
+		m.runCPUUser.series(&b)
+		m.runCPUGC.series(&b)
 	}
 	return b.String()
+}
+
+// OpenMetricsContentType is the Content-Type an OpenMetrics response carries;
+// WantsOpenMetrics sniffs a scrape's Accept header for it.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WantsOpenMetrics reports whether an Accept header asks for the OpenMetrics
+// exposition format.
+func WantsOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
 }
 
 // ProgressLine renders the one-line periodic report long sweeps print.
@@ -285,25 +353,30 @@ func (m *Metrics) ProgressLine() string {
 // the port.
 func ServeMetrics(addr string, m *Metrics) (string, func() error, error) {
 	mux := http.NewServeMux()
-	h := func(w http.ResponseWriter, _ *http.Request) {
+	h := func(w http.ResponseWriter, r *http.Request) {
+		if WantsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			fmt.Fprint(w, m.ExpoOpenMetrics())
+			fmt.Fprint(w, RuntimeExpoOpenMetrics())
+			fmt.Fprint(w, "# EOF\n")
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, m.Expo())
+		fmt.Fprint(w, RuntimeExpo())
 	}
 	mux.HandleFunc("/", h)
 	mux.HandleFunc("/metrics", h)
 	return serve(addr, mux)
 }
 
-// ServePprof starts an HTTP listener on addr exposing net/http/pprof (CPU
-// and heap profiles, goroutine dumps, and the /debug/pprof/trace runtime
-// execution tracer).  It returns the bound address and a closer.
+// ServePprof starts an HTTP listener on addr exposing the shared debug
+// surface (net/http/pprof — CPU and heap profiles, goroutine dumps, the
+// /debug/pprof/trace runtime execution tracer — plus /debug/flight).  It
+// returns the bound address and a closer.
 func ServePprof(addr string) (string, func() error, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterDebug(mux)
 	return serve(addr, mux)
 }
 

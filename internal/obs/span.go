@@ -217,6 +217,12 @@ func (r *SpanRecorder) add(sp Span) {
 		r.dropped++
 	}
 	r.mu.Unlock()
+	// Tee every span completion into the flight recorder (when armed), so a
+	// crash dump shows what the process was timing right before it died.
+	if f := Flight(); f != nil {
+		f.Record("SPAN", sp.Track, sp.Name,
+			fmt.Sprintf("dur_us=%d trace=%s span=%s", sp.DurUS, sp.TraceID, sp.SpanID))
+	}
 }
 
 // Spans returns a snapshot of the recorded spans in completion order.

@@ -163,6 +163,11 @@ type Options struct {
 	// serving layer uses this to tie each job back to the HTTP request that
 	// enqueued it; spans are pure observability and never affect results.
 	SpanFor func(i int) *obs.ActiveSpan
+	// ProgressFor, when non-nil, returns the live-progress sink job i
+	// publishes phase transitions and cycle/instruction totals into (nil =
+	// job unwatched).  The serving layer uses this to feed the per-run SSE
+	// progress stream; like spans, sinks never affect results.
+	ProgressFor func(i int) *obs.RunProgress
 }
 
 // JobError identifies which job of a batch failed and why.

@@ -62,8 +62,12 @@ func RunSpecs(specs []*spec.RunSpec, opt Options) ([]SpecResult, error) {
 					span.SetAttr("workload", specs[i].Workload)
 				}
 			}
+			var prog *obs.RunProgress
+			if opt.ProgressFor != nil {
+				prog = opt.ProgressFor(i)
+			}
 			begin := time.Now()
-			res, err := safeExec(ctx, specs[i], met, span)
+			res, err := safeExec(ctx, specs[i], met, span, prog)
 			res.Wall = time.Since(begin)
 			var insts uint64
 			if res.Outcome != nil && res.Outcome.Stats != nil {
@@ -82,7 +86,7 @@ func RunSpecs(specs []*spec.RunSpec, opt Options) ([]SpecResult, error) {
 
 // safeExec is spec.Exec behind the runner's recover boundary: a panicking
 // job becomes a *PanicError instead of killing the process.
-func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.ActiveSpan) (res SpecResult, err error) {
+func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.ActiveSpan, prog *obs.RunProgress) (res SpecResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -95,7 +99,7 @@ func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.
 	if err != nil {
 		return SpecResult{}, err
 	}
-	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met, Span: span})
+	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met, Span: span, Progress: prog})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr // report the cancellation, not its downstream wrapping

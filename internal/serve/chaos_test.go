@@ -367,7 +367,7 @@ func TestChaosCacheCorruption(t *testing.T) {
 
 	// Corrupt both entries on disk: one bit-flip, one truncation.
 	for i, res := range firsts {
-		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r3.json")
+		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r4.json")
 		data, err := os.ReadFile(entry)
 		if err != nil {
 			t.Fatal(err)
@@ -397,7 +397,7 @@ func TestChaosCacheCorruption(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Errorf("recomputed run %d diverges:\nwas: %s\nnow: %s", i, want, got)
 		}
-		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r3.json")
+		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r4.json")
 		if _, err := os.Stat(entry + ".corrupt"); err != nil {
 			t.Errorf("run %d: no quarantine file: %v", i, err)
 		}
@@ -445,4 +445,92 @@ func TestChaosDrainThenRestart(t *testing.T) {
 		t.Errorf("post-drain cache hit diverges:\nserve: %s\ndirect: %s", got, want)
 	}
 	d2.drain(t)
+}
+
+// TestChaosSIGQUITFlightDump: SIGQUIT is the on-demand post-mortem lever —
+// the daemon dumps the flight ring to stderr and to <cache-dir>/flight.json
+// (plus all goroutine stacks) and exits 2.  The dump's tail must contain the
+// records /debug/flight was serving moments before the signal.
+func TestChaosSIGQUITFlightDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness builds and kills subprocesses; skipped in -short")
+	}
+	bin := serveBinary(t)
+	dir := t.TempDir()
+	d := startDaemon(t, bin, dir)
+
+	// Run one job so the ring holds real serving records (log lines + spans).
+	cl, err := client.New(client.Config{BaseURL: d.url, Poll: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &spec.RunSpec{Topology: "BIM2", Workload: "fib", Seed: 22, Insts: 20_000}
+	if _, err := cl.Run(context.Background(), sp); err != nil {
+		t.Fatal(err)
+	}
+
+	// What the live endpoint serves now is what the dump must preserve.
+	resp, err := http.Get(d.url + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live struct {
+		Total   uint64 `json:"total"`
+		Records []struct {
+			Seq uint64 `json:"seq"`
+			Msg string `json:"msg"`
+		} `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&live)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Total == 0 || len(live.Records) == 0 {
+		t.Fatalf("/debug/flight empty before SIGQUIT: %+v", live)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.exited:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after SIGQUIT")
+	}
+	if code := d.cmd.ProcessState.ExitCode(); code != 2 {
+		t.Errorf("SIGQUIT exit code = %d, want 2\n%s", code, d.stderr.String())
+	}
+	stderr := d.stderr.String()
+	if !strings.Contains(stderr, "[flight] SIGQUIT") {
+		t.Errorf("stderr missing the flight dump header:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "goroutine ") {
+		t.Errorf("stderr missing the goroutine stacks:\n%s", stderr)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "flight.json"))
+	if err != nil {
+		t.Fatalf("JSON dump not written: %v\n%s", err, stderr)
+	}
+	var dump struct {
+		Records []struct {
+			Seq uint64 `json:"seq"`
+			Msg string `json:"msg"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("flight.json does not parse: %v", err)
+	}
+	bySeq := map[uint64]string{}
+	for _, r := range dump.Records {
+		bySeq[r.Seq] = r.Msg
+	}
+	// Every record the endpoint served must appear in the dump unchanged
+	// (the ring only appends; SIGQUIT handling itself logs nothing).
+	for _, r := range live.Records {
+		if msg, ok := bySeq[r.Seq]; !ok || msg != r.Msg {
+			t.Errorf("dump lost or rewrote record seq=%d (%q vs %q)", r.Seq, r.Msg, msg)
+		}
+	}
 }

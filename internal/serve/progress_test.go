@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cobra/internal/obs"
+)
+
+// TestProgressSnapshotFallback: clients that don't ask for an event stream
+// get a single JSON snapshot, and unknown digests 404.
+func TestProgressSnapshotFallback(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, rs := postSpec(t, ts, smallSpec(60))
+	waitDone(t, ts, rs.Digest)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + rs.Digest + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress snapshot: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); strings.Contains(ct, "event-stream") {
+		t.Fatalf("plain GET answered with an event stream (%q)", ct)
+	}
+	var ev progressEvent
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Digest != rs.Digest || ev.Status != "done" || !ev.Done || ev.Phase != "done" {
+		t.Fatalf("terminal snapshot = %+v", ev)
+	}
+
+	bad, err := http.Get(ts.URL + "/v1/runs/sha256:" + strings.Repeat("0", 64) + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body) //nolint:errcheck
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown digest progress: HTTP %d, want 404", bad.StatusCode)
+	}
+}
+
+// TestProgressStream: an SSE client watching a live run sees advancing
+// frames and a final done frame, and the simulate-phase frames carry cycle
+// counts fed by the core's flush path.
+func TestProgressStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, rs := postSpec(t, ts, slowSpec(61))
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/runs/"+rs.Digest+"/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("content-type = %q, want event stream", ct)
+	}
+
+	var (
+		frames []progressEvent
+		sc     = bufio.NewScanner(resp.Body)
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev progressEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad frame %q: %v", line, err)
+		}
+		frames = append(frames, ev)
+		if ev.Done {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("stream produced no frames")
+	}
+	last := frames[len(frames)-1]
+	if !last.Done || last.Status != "done" {
+		t.Fatalf("stream did not end on a terminal frame: %+v", last)
+	}
+	// Cycle counts within a phase must be monotone non-decreasing.
+	var prev uint64
+	sawCycles := false
+	for _, ev := range frames {
+		if ev.Cycles > 0 {
+			sawCycles = true
+		}
+		if ev.Cycles < prev && !ev.Done {
+			t.Fatalf("cycle count went backwards: %d after %d", ev.Cycles, prev)
+		}
+		if !ev.Done {
+			prev = ev.Cycles
+		}
+	}
+	if !sawCycles {
+		t.Error("no frame carried a cycle count; core flush not feeding the sink")
+	}
+	waitDone(t, ts, rs.Digest)
+}
+
+// TestResultCarriesResources: result_version is 4 and the stored result
+// includes the per-run resource-attribution record.
+func TestResultCarriesResources(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, rs := postSpec(t, ts, smallSpec(62))
+	done := waitDone(t, ts, rs.Digest)
+	var res Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultVersion != 4 {
+		t.Fatalf("result_version = %d, want 4", res.ResultVersion)
+	}
+	if res.Resources == nil {
+		t.Fatal("result carries no resource attribution")
+	}
+	r := res.Resources
+	if r.AllocBytes == 0 || r.AllocObjects == 0 || r.WallMS <= 0 || r.Attempts != 1 {
+		t.Errorf("implausible attribution: %+v", r)
+	}
+	if r.QueueWaitMS < 0 || r.GCPauseShare < 0 || r.GCPauseShare > 1 {
+		t.Errorf("implausible attribution: %+v", r)
+	}
+}
+
+// TestFailedRunCarriesPostMortem: a failed run's status reports the resource
+// attribution of the last attempt and the flight-recorder tail.
+func TestFailedRunCarriesPostMortem(t *testing.T) {
+	obs.EnableFlight(0) // the daemon arms this via its logger; tests do it here
+	_, ts := newTestServer(t, Config{Workers: 1, JobTimeout: time.Millisecond})
+	_, rs := postSpec(t, ts, slowSpec(63))
+	done := waitDone(t, ts, rs.Digest)
+	if done.Status != "failed" {
+		t.Fatalf("run did not fail: %+v", done)
+	}
+	if done.Resources == nil || done.Resources.WallMS <= 0 {
+		t.Errorf("failed run carries no resource attribution: %+v", done.Resources)
+	}
+	if len(done.Flight) == 0 {
+		t.Error("failed run carries no flight-recorder tail")
+	}
+}
+
+// TestStatusz: the human page renders and ?json=1 exposes the same numbers
+// machine-readably.
+func TestStatusz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, rs := postSpec(t, ts, smallSpec(64))
+	waitDone(t, ts, rs.Digest)
+	postSpec(t, ts, smallSpec(64)) // mint a cache hit
+
+	resp, err := http.Get(ts.URL + "/statusz?json=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc statuszDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || doc.Workers != 2 || doc.UptimeSeconds <= 0 {
+		t.Errorf("statusz doc = %+v", doc)
+	}
+	if doc.CacheHits != 1 || doc.CacheMisses != 1 || doc.CacheHitRate != 0.5 {
+		t.Errorf("cache accounting: hits=%d misses=%d rate=%v",
+			doc.CacheHits, doc.CacheMisses, doc.CacheHitRate)
+	}
+	if doc.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", doc.CacheEntries)
+	}
+
+	html, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer html.Body.Close()
+	body, _ := io.ReadAll(html.Body)
+	if ct := html.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("statusz content-type = %q", ct)
+	}
+	for _, want := range []string{"cobra-serve", "flight recorder", "hit rate"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("statusz page missing %q", want)
+		}
+	}
+}
+
+// TestStatuszShowsInflight: a queued/running job appears in the runs table.
+func TestStatuszShowsInflight(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	_, rs := postSpec(t, ts, slowSpec(65))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		doc := s.statusz()
+		if len(doc.Runs) > 0 {
+			if doc.Runs[0].Digest != rs.Digest {
+				t.Fatalf("statusz run digest = %s, want %s", doc.Runs[0].Digest, rs.Digest)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight run never appeared on statusz")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitDone(t, ts, rs.Digest)
+}
+
+// TestDiskCacheV3AgesOut: entries written under result_version 3 filenames
+// are invisible to a v4 server — the run misses, recomputes, and the fresh
+// result lands beside (not on top of) the stale file.  Mirrors the v2→v3
+// migration guarantee: a version bump never resurrects old bytes.
+func TestDiskCacheV3AgesOut(t *testing.T) {
+	dir := t.TempDir()
+	sp := smallSpec(66)
+
+	// Run once to learn the digest, then fake a stale v3 entry for it.
+	s1, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	_, rs := postSpec(t, ts1, sp)
+	waitDone(t, ts1, rs.Digest)
+	ts1.Close()
+	shutdownServer(t, s1)
+
+	key := strings.TrimPrefix(rs.Digest, "sha256:")
+	stale := filepath.Join(dir, key+".r3.json")
+	if err := os.WriteFile(stale, []byte(`{"result_version":3,"digest":"`+rs.Digest+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	code, rs2 := postSpec(t, ts2, sp)
+	if code != http.StatusAccepted || rs2.Cached {
+		t.Fatalf("v3 entry served under v4: HTTP %d %+v", code, rs2)
+	}
+	done := waitDone(t, ts2, rs2.Digest)
+	var res Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ResultVersion != 4 {
+		t.Fatalf("recomputed result_version = %d, want 4", res.ResultVersion)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".r4.json")); err != nil {
+		t.Errorf("fresh v4 entry not written: %v", err)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Errorf("stale v3 entry was clobbered: %v", err)
+	}
+}

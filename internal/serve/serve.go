@@ -51,8 +51,9 @@ import (
 // that): the disk-cache filename carries the version, so entries written by
 // an older server become deliberate misses instead of deserialization
 // surprises.  v2 added result_version, trace_id, and the timings breakdown;
-// v3 added the retries count and the integrity footer on disk entries.
-const resultVersion = 3
+// v3 added the retries count and the integrity footer on disk entries; v4
+// added the per-run resource-attribution record.
+const resultVersion = 4
 
 // Config shapes a Server.  Zero values select the documented defaults.
 type Config struct {
@@ -109,6 +110,10 @@ type Result struct {
 	// Retries is how many failed attempts preceded this result — non-zero
 	// only when the automatic retry policy rescued the run.
 	Retries int `json:"retries,omitempty"`
+	// Resources is the per-run resource attribution (CPU, allocs, GC, wait
+	// breakdown) measured around the original computation; replays from
+	// cache return the original record unchanged.
+	Resources *obs.Resources `json:"resources,omitempty"`
 	// WallMS is the wall-clock time of the original computation; replays
 	// from cache return it unchanged (responses are byte-identical).
 	WallMS int64 `json:"wall_ms"`
@@ -116,13 +121,15 @@ type Result struct {
 
 // job is one submitted spec moving through the queue.
 type job struct {
-	spec    *spec.RunSpec // canonical
-	digest  string
-	tc      obs.TraceContext // trace context of the enqueuing request
-	submit  time.Time        // when the HTTP request arrived
-	enqueue time.Time        // when the job entered the queue
-	started atomic.Bool
-	done    chan struct{}
+	spec     *spec.RunSpec // canonical
+	digest   string
+	tc       obs.TraceContext // trace context of the enqueuing request
+	submit   time.Time        // when the HTTP request arrived
+	enqueue  time.Time        // when the job entered the queue
+	admitSeq uint64           // admission order, for approximate queue position
+	started  atomic.Bool
+	prog     *obs.RunProgress // live-progress sink behind /v1/runs/{id}/progress
+	done     chan struct{}
 }
 
 // Server is the daemon state: worker pool, bounded queue, in-flight dedup
@@ -141,11 +148,25 @@ type Server struct {
 	jnl     *journal     // nil = unjournaled
 	pending []pendingRun // accepted-but-incomplete runs recovered at startup
 
+	start     time.Time     // process-facing uptime clock for /statusz
+	admitted  atomic.Uint64 // jobs ever enqueued (admission sequence)
+	startedCt atomic.Uint64 // jobs ever picked up by a worker
+
 	mu        sync.Mutex
 	draining  bool
-	jobs      map[string]*job   // digest → in-flight job (the singleflight table)
-	failures  map[string]string // digest → error of the most recent failed run
-	failOrder []string          // FIFO bound on failures
+	jobs      map[string]*job        // digest → in-flight job (the singleflight table)
+	failures  map[string]*runFailure // digest → record of the most recent failed run
+	failOrder []string               // FIFO bound on failures
+}
+
+// runFailure is what the failure FIFO remembers about a failed run: the
+// error, the resource attribution of the last attempt, and the flight
+// recorder's tail at failure time — enough to debug without reproducing.
+type runFailure struct {
+	msg       string
+	retries   int
+	resources *obs.Resources
+	flight    []obs.FlightRecord
 }
 
 // New builds a Server, replaying the run journal when one is configured;
@@ -188,10 +209,11 @@ func New(cfg Config) (*Server, error) {
 		log:      cfg.Log,
 		build:    obs.BuildInfo(),
 		traces:   newTraceStore(cfg.TraceEntries),
+		start:    time.Now(),
 		queue:    make(chan *job, cfg.QueueLen),
 		results:  newCache(cfg.CacheEntries, cfg.CacheDir, fmt.Sprintf(".r%d.json", resultVersion)),
 		jobs:     make(map[string]*job),
-		failures: make(map[string]string),
+		failures: make(map[string]*runFailure),
 	}
 	s.results.onCorrupt = func(path, reason string) {
 		s.met.AddCacheCorrupt(1)
@@ -243,7 +265,7 @@ func (s *Server) replayPending() {
 			continue
 		}
 		j := &job{spec: p.spec, digest: p.digest, tc: obs.NewTraceContext(),
-			submit: time.Now(), done: make(chan struct{})}
+			submit: time.Now(), prog: obs.NewRunProgress(), done: make(chan struct{})}
 		for {
 			s.mu.Lock()
 			if s.draining {
@@ -258,6 +280,7 @@ func (s *Server) replayPending() {
 			enqueued := false
 			select {
 			case s.queue <- j:
+				j.admitSeq = s.admitted.Add(1)
 				s.jobs[p.digest] = j
 				delete(s.failures, p.digest)
 				enqueued = true
@@ -323,6 +346,7 @@ func (s *Server) worker() {
 // pending and replay re-executes it.
 func (s *Server) runJob(j *job) {
 	j.started.Store(true)
+	s.startedCt.Add(1)
 	pickup := time.Now()
 	rec := s.traces.lookup(j.digest) // nil after eviction: spans become no-ops
 	rec.Record(j.tc, "queue", "queue.wait", j.enqueue, pickup, nil)
@@ -330,13 +354,15 @@ func (s *Server) runJob(j *job) {
 	s.met.ObserveQueueWait(queueWait)
 
 	var (
-		tmg     Timings
-		err     error
-		attempt int
+		tmg       Timings
+		res       *obs.Resources
+		err       error
+		attempt   int
+		retryWait time.Duration
 	)
 	for {
 		s.jnl.append(jrec{Type: recStarted, Digest: j.digest, Attempt: attempt})
-		tmg, err = s.execAttempt(j, rec, pickup, queueWait, attempt)
+		tmg, res, err = s.execAttempt(j, rec, pickup, queueWait, retryWait, attempt)
 		if err == nil {
 			s.jnl.append(jrec{Type: recDone, Digest: j.digest})
 			break
@@ -352,16 +378,25 @@ func (s *Server) runJob(j *job) {
 			"attempt", attempt+1, "of", s.cfg.JobRetries, "backoff_ms", ms(backoff),
 			"error", err.Error())
 		time.Sleep(backoff)
+		retryWait += backoff
 		attempt++
 	}
 	s.mu.Lock()
 	if err != nil {
-		s.recordFailureLocked(j.digest, err.Error())
+		s.recordFailureLocked(j.digest, &runFailure{
+			msg: err.Error(), retries: attempt, resources: res,
+			flight: obs.Flight().Tail(32),
+		})
 	}
 	delete(s.jobs, j.digest)
 	s.mu.Unlock()
+	if err != nil {
+		j.prog.SetPhase(obs.PhaseFailed)
+	} else {
+		j.prog.SetPhase(obs.PhaseDone)
+	}
 	close(j.done)
-	s.met.ObserveRequest(time.Since(j.submit), false)
+	s.met.ObserveRequestEx(time.Since(j.submit), false, j.tc.TraceIDString())
 	if err != nil {
 		s.log.Error("run failed",
 			"run_digest", j.digest, "trace_id", j.tc.TraceIDString(), "phase", "failed",
@@ -386,21 +421,29 @@ func retryBackoff(base time.Duration, attempt int) time.Duration {
 	return d
 }
 
-// execAttempt runs one execution attempt and, on success, renders the
-// Result (carrying the attempt count as its retries field) and publishes it
-// to the cache.
-func (s *Server) execAttempt(j *job, rec *obs.SpanRecorder, pickup time.Time, queueWait time.Duration, attempt int) (Timings, error) {
+// execAttempt runs one execution attempt — with the resource meter wrapped
+// around the runner call, so the attribution record covers failures too —
+// and, on success, renders the Result (carrying the attempt count as its
+// retries field and the attribution record) and publishes it to the cache.
+func (s *Server) execAttempt(j *job, rec *obs.SpanRecorder, pickup time.Time, queueWait, retryWait time.Duration, attempt int) (Timings, *obs.Resources, error) {
 	wspan := rec.Start(j.tc, "worker", "worker")
 	if attempt > 0 {
 		wspan.SetAttr("attempt", fmt.Sprint(attempt))
 	}
+	meter := obs.StartResourceMeter(0)
 	res, err := runner.RunSpecs([]*spec.RunSpec{j.spec}, runner.Options{
 		Workers: 1, Policy: runner.FailFast, Timeout: s.cfg.JobTimeout, Metrics: s.met,
-		SpanFor: func(int) *obs.ActiveSpan { return wspan },
+		SpanFor:     func(int) *obs.ActiveSpan { return wspan },
+		ProgressFor: func(int) *obs.RunProgress { return j.prog },
 	})
+	resources := meter.Stop()
+	resources.QueueWaitMS = float64(queueWait.Microseconds()) / 1000
+	resources.RetryWaitMS = float64(retryWait.Microseconds()) / 1000
+	resources.Attempts = attempt + 1
+	s.met.ObserveRunResources(resources)
 	wspan.End()
 	if err != nil {
-		return Timings{}, err
+		return Timings{}, &resources, err
 	}
 	out := res[0].Outcome
 	tmg := Timings{QueueWaitMS: ms(queueWait), ExecMS: ms(res[0].Wall), Timings: out.Timings}
@@ -415,22 +458,24 @@ func (s *Server) execAttempt(j *job, rec *obs.SpanRecorder, pickup time.Time, qu
 		EventsTotal:   out.EventsTotal,
 		Timings:       &tmg,
 		Retries:       attempt,
+		Resources:     &resources,
 		WallMS:        time.Since(pickup).Milliseconds(),
 	})
 	rec.Record(j.tc, "render", "render", renderStart, time.Now(), nil)
 	if merr != nil {
-		return tmg, merr
+		return tmg, &resources, merr
 	}
 	writeStart := time.Now()
 	s.results.put(j.digest, data)
 	rec.Record(j.tc, "cache", "cache.write", writeStart, time.Now(),
 		map[string]string{"bytes": fmt.Sprint(len(data))})
-	return tmg, nil
+	return tmg, &resources, nil
 }
 
 // recordFailureLocked remembers a failed digest (bounded FIFO) so GET can
-// report what went wrong; failures are never served from cache.
-func (s *Server) recordFailureLocked(digest, msg string) {
+// report what went wrong — with the last attempt's resource attribution and
+// the flight-recorder tail; failures are never served from cache.
+func (s *Server) recordFailureLocked(digest string, f *runFailure) {
 	if _, ok := s.failures[digest]; !ok {
 		s.failOrder = append(s.failOrder, digest)
 		for len(s.failOrder) > 128 {
@@ -438,7 +483,7 @@ func (s *Server) recordFailureLocked(digest, msg string) {
 			s.failOrder = s.failOrder[1:]
 		}
 	}
-	s.failures[digest] = msg
+	s.failures[digest] = f
 }
 
 // Handler mounts the API.
@@ -448,9 +493,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	obs.RegisterDebug(mux) // /debug/pprof/*, /debug/flight
 	return mux
 }
 
@@ -462,6 +510,10 @@ type runStatus struct {
 	TraceID string          `json:"trace_id,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// Resources and Flight accompany failed runs: the last attempt's resource
+	// attribution and the flight-recorder tail captured at failure time.
+	Resources *obs.Resources     `json:"resources,omitempty"`
+	Flight    []obs.FlightRecord `json:"flight,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -514,7 +566,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			map[string]string{"cached": "true"})
 		rec.Record(tc, "http", "POST /v1/runs", reqStart, time.Now(),
 			map[string]string{"status": "200"})
-		s.met.ObserveRequest(time.Since(reqStart), true)
+		s.met.ObserveRequestEx(time.Since(reqStart), true, tc.TraceIDString())
 		s.log.Info("run served from cache",
 			"run_digest", digest, "trace_id", tc.TraceIDString(), "phase", "cache_hit",
 			"total_ms", ms(time.Since(reqStart)))
@@ -548,10 +600,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	j := &job{spec: sp, digest: digest, tc: tc, submit: reqStart, done: make(chan struct{})}
+	j := &job{spec: sp, digest: digest, tc: tc, submit: reqStart,
+		prog: obs.NewRunProgress(), done: make(chan struct{})}
 	j.enqueue = time.Now()
 	select {
 	case s.queue <- j:
+		j.admitSeq = s.admitted.Add(1)
 		s.jobs[digest] = j
 		delete(s.failures, digest) // a resubmission supersedes an old failure
 		s.mu.Unlock()
@@ -596,7 +650,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	j, inflight := s.jobs[id]
-	failMsg, failed := s.failures[id]
+	fail, failed := s.failures[id]
 	s.mu.Unlock()
 	if inflight {
 		writeJSON(w, http.StatusOK, runStatus{Digest: id, Status: statusOf(j)})
@@ -607,7 +661,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if failed {
-		writeJSON(w, http.StatusOK, runStatus{Digest: id, Status: "failed", Error: failMsg})
+		writeJSON(w, http.StatusOK, runStatus{
+			Digest: id, Status: "failed", Error: fail.msg,
+			Resources: fail.resources, Flight: fail.flight,
+		})
 		return
 	}
 	writeError(w, http.StatusNotFound, "unknown run %s", id)
@@ -696,9 +753,15 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, code, h)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprint(w, s.met.Expo())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	om := obs.WantsOpenMetrics(r.Header.Get("Accept"))
+	if om {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		fmt.Fprint(w, s.met.ExpoOpenMetrics())
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, s.met.Expo())
+	}
 	s.mu.Lock()
 	inflight := len(s.jobs)
 	failures := len(s.failures)
@@ -723,4 +786,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP cobra_build_info Build identity of this binary.\n"+
 		"# TYPE cobra_build_info gauge\ncobra_build_info{goversion=%q,revision=%q,dirty=\"%t\"} 1\n",
 		s.build.GoVersion, s.build.Revision, s.build.Dirty)
+	if om {
+		fmt.Fprint(w, obs.RuntimeExpoOpenMetrics())
+		fmt.Fprint(w, "# EOF\n")
+	} else {
+		fmt.Fprint(w, obs.RuntimeExpo())
+	}
 }

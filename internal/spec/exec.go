@@ -46,6 +46,11 @@ type Attach struct {
 	// stack threads through the runner.  nil skips span recording; the
 	// Timings breakdown is measured either way.
 	Span *obs.ActiveSpan
+	// Progress, when non-nil, receives live phase transitions and
+	// cycle/instruction totals for this one run — the feed behind the serving
+	// stack's GET /v1/runs/{id}/progress stream.  Exec publishes the phase at
+	// each boundary; the core publishes totals on its periodic flush.
+	Progress *obs.RunProgress
 }
 
 // Timings is the wall-clock phase breakdown of one Exec call, in
@@ -137,6 +142,7 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 		sp.End()
 	}
 
+	at.Progress.SetPhase(obs.PhaseCanonicalize)
 	sp := at.Span.Child("exec", "canonicalize")
 	t0 := time.Now()
 	c, err := s.Canonical()
@@ -145,6 +151,7 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 		return nil, err
 	}
 
+	at.Progress.SetPhase(obs.PhaseCompose)
 	sp = at.Span.Child("exec", "compose")
 	t0 = time.Now()
 	geo, err := geometryFor(c)
@@ -188,6 +195,7 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	}
 	endPhase(sp, &tm.ComposeMS, t0, nil)
 
+	at.Progress.SetPhase(obs.PhaseWorkload)
 	sp = at.Span.Child("exec", "workload")
 	t0 = time.Now()
 	prog, err := workloads.Get(c.Workload)
@@ -207,6 +215,9 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	if at.Metrics != nil {
 		core.SetMetrics(at.Metrics)
 	}
+	if at.Progress != nil {
+		core.SetProgress(at.Progress)
+	}
 
 	ctx := at.Ctx
 	if d := c.Timeout(); d > 0 {
@@ -223,6 +234,8 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	}
 
 	if c.Warmup > 0 {
+		at.Progress.SetPhase(obs.PhaseWarmup)
+		at.Progress.SetTarget(c.Warmup)
 		sp = at.Span.Child("exec", "warmup")
 		t0 = time.Now()
 		core.Run(c.Warmup)
@@ -234,6 +247,8 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 		core.ResetStats()
 		endPhase(sp, &tm.WarmupMS, t0, nil)
 	}
+	at.Progress.SetPhase(obs.PhaseSimulate)
+	at.Progress.SetTarget(c.Insts)
 	sp = at.Span.Child("exec", "simulate")
 	t0 = time.Now()
 	res := core.Run(c.Insts)

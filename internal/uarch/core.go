@@ -115,6 +115,7 @@ type Core struct {
 	met        *obs.Metrics       // live telemetry sink (flushed periodically)
 	metCycles  uint64             // cycles already flushed to met
 	metInsts   uint64             // instructions already flushed to met
+	rprog      *obs.RunProgress   // per-run live-progress sink (same cadence)
 }
 
 // NewCore wires a predictor pipeline to a program.
@@ -157,14 +158,24 @@ func (c *Core) SetBranchProfile(p *obs.BranchProfile) {
 // instead of one lump at the end.
 func (c *Core) SetMetrics(m *obs.Metrics) { c.met = m }
 
-// flushMetrics pushes the not-yet-reported cycle/instruction deltas.
+// SetProgress attaches a per-run live-progress sink, published on the same
+// 8192-cycle cadence as the metrics flush.  Where Metrics aggregates across a
+// whole batch, RunProgress carries this one run's absolute totals — the feed
+// behind GET /v1/runs/{id}/progress.
+func (c *Core) SetProgress(p *obs.RunProgress) { c.rprog = p }
+
+// flushMetrics pushes the not-yet-reported cycle/instruction deltas and
+// publishes the run's absolute totals to the progress sink.
 func (c *Core) flushMetrics() {
-	c.met.AddCycles(c.cycle - c.metCycles)
-	c.metCycles = c.cycle
-	if c.S.Instructions >= c.metInsts {
-		c.met.AddInsts(c.S.Instructions - c.metInsts)
+	if c.met != nil {
+		c.met.AddCycles(c.cycle - c.metCycles)
+		c.metCycles = c.cycle
+		if c.S.Instructions >= c.metInsts {
+			c.met.AddInsts(c.S.Instructions - c.metInsts)
+		}
+		c.metInsts = c.S.Instructions
 	}
-	c.metInsts = c.S.Instructions
+	c.rprog.Set(c.cycle, c.S.Instructions)
 }
 
 // emitRedirect records a frontend redirect on the observability stream.
@@ -590,7 +601,7 @@ func (c *Core) step() {
 // microarchitectural state — the standard warm-up methodology: run a
 // warm-up slice, reset, then measure.
 func (c *Core) ResetStats() {
-	if c.met != nil {
+	if c.met != nil || c.rprog != nil {
 		c.flushMetrics()
 	}
 	c.S = stats.NewSim()
@@ -610,9 +621,10 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 		if c.ctx != nil && c.cycle&0xFF == 0 && c.ctx.Err() != nil {
 			break
 		}
-		// Telemetry flush every 8K cycles keeps a live metrics endpoint or
-		// progress line moving through a long run at negligible cost.
-		if c.met != nil && c.cycle&0x1FFF == 0 {
+		// Telemetry flush every 8K cycles keeps a live metrics endpoint,
+		// progress line, or SSE progress stream moving through a long run at
+		// negligible cost.
+		if (c.met != nil || c.rprog != nil) && c.cycle&0x1FFF == 0 {
 			c.flushMetrics()
 		}
 		c.step()
@@ -623,7 +635,7 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 	}
 	c.S.Cycles = c.cycle - c.cycleBase
 	c.S.HistoryRepairs = c.bp.C.HistRepairs - c.histRepairBase
-	if c.met != nil {
+	if c.met != nil || c.rprog != nil {
 		c.flushMetrics()
 	}
 	return &c.S

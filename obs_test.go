@@ -147,6 +147,7 @@ func allocsOf(f func()) uint64 {
 // see DESIGN.md §9/§12, BenchmarkPipelineNoObserver, and cmd/cobra-bench
 // (which records the same numbers in BENCH_*.json).
 func TestPhaseAllocBudgets(t *testing.T) {
+	EnableFlightRecorder(0) // the budgets must hold with the recorder armed
 	const (
 		composeBudget = 512 // allocs to build one Table I design
 		warmupBudget  = 768 // allocs for the first 4096 Predict/Commit steps
@@ -193,6 +194,7 @@ func TestPhaseAllocBudgets(t *testing.T) {
 // run must stay under 0.2 allocs per committed instruction (measured ~0.014;
 // the seed revision sat near 4.4).
 func TestSimulateAllocBudget(t *testing.T) {
+	EnableFlightRecorder(0) // the budget must hold with the recorder armed
 	const insts = 50_000
 	rc := RunConfig{Design: TAGEL(), Workload: "gcc", MaxInsts: insts}
 	if _, err := Run(rc); err != nil { // warm the workload memo
