@@ -7,15 +7,19 @@
 //	cobra-experiments -exp fig10 -j 8
 //	cobra-experiments -exp table1,table2,d3
 //	cobra-experiments -exp fig10 -paranoid -timeout 5m
+//	cobra-experiments -exp fig10 -server http://localhost:8080
 //
 // Experiment ids: table1 table2 table3 fig8 fig9 fig10 d1 d2 d3 d4
 // tracegap ablation-loop ablation-ubtb ablation-meta h2p all
 //
 // Each experiment's independent simulations fan out across -j worker
 // goroutines (default GOMAXPROCS); results are bit-identical for every -j,
-// with -j 1 forcing the serial path.  Long runs can be watched live with
-// -progress (periodic stderr status), -metrics-addr (Prometheus text
-// endpoint), and -pprof-addr (net/http/pprof + runtime trace).
+// with -j 1 forcing the serial path.  With -server the same grids execute
+// on a cobra-serve daemon through the unified backend — tables identical to
+// local, because every grid point is a canonical RunSpec carrying its
+// derived seed.  Long runs can be watched live with -progress (periodic
+// stderr status), -metrics-addr (Prometheus text endpoint), and -pprof-addr
+// (net/http/pprof + runtime trace).
 package main
 
 import (
@@ -35,49 +39,40 @@ func main() { cli.Main("cobra-experiments", run) }
 
 func run() error {
 	f := cli.AddRunFlags(flag.CommandLine,
-		cli.GBudget|cli.GGuard|cli.GTelemetry|cli.GProgress)
+		cli.GBudget|cli.GGuard|cli.GTelemetry|cli.GProgress|cli.GServer|cli.GDigest)
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
-		server = flag.String("server", "", "execute simulation grids on the cobra-serve daemon at this URL (tables identical to local; in-process-only experiments still run locally)")
+		exp  = flag.String("exp", "all", "comma-separated experiment ids")
+		jobs = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulations (1 = serial; output identical for any value)")
 	)
 	flag.Parse()
 	if exit, err := f.Handle("cobra-experiments"); err != nil || exit {
 		return err
 	}
 	cfg := experiments.Config{Insts: *f.Insts, Warmup: *f.Warmup, Seed: *f.Seed,
-		Parallelism: *jobs, Paranoid: *f.Paranoid, Timeout: *f.Timeout}
-	if *server != "" {
-		logger, err := f.Logger("cobra-experiments")
-		if err != nil {
-			return err
-		}
-		ccfg := client.Config{BaseURL: *server, Log: logger}
-		if f.Progress != nil && *f.Progress > 0 {
-			// Grid points run concurrently, so a single rewritable line would
-			// interleave; report phase transitions per run instead, tagged
-			// with a short digest prefix.
-			var (
-				mu   sync.Mutex
-				seen = map[string]string{}
-			)
-			ccfg.OnProgress = func(ev client.Progress) {
-				mu.Lock()
-				defer mu.Unlock()
-				if seen[ev.Digest] == ev.Phase || ev.Done {
-					return
-				}
-				seen[ev.Digest] = ev.Phase
-				id := strings.TrimPrefix(ev.Digest, "sha256:")
-				if len(id) > 12 {
-					id = id[:12]
-				}
-				fmt.Fprintf(os.Stderr, "run %s: phase=%s cycles=%d\n", id, ev.Phase, ev.Cycles)
+		Parallelism: *jobs, Paranoid: *f.Paranoid, Timeout: *f.Timeout,
+		Digests: f.DigestWriter()}
+
+	var onProgress func(client.Progress)
+	if f.ServerURL() != "" && f.Progress != nil && *f.Progress > 0 {
+		// Grid points run concurrently, so a single rewritable line would
+		// interleave; report phase transitions per run instead, tagged
+		// with a short digest prefix.
+		var (
+			mu   sync.Mutex
+			seen = map[string]string{}
+		)
+		onProgress = func(ev client.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[ev.Digest] == ev.Phase || ev.Done {
+				return
 			}
-		}
-		cfg.Remote, err = client.New(ccfg)
-		if err != nil {
-			return err
+			seen[ev.Digest] = ev.Phase
+			id := strings.TrimPrefix(ev.Digest, "sha256:")
+			if len(id) > 12 {
+				id = id[:12]
+			}
+			fmt.Fprintf(os.Stderr, "run %s: phase=%s cycles=%d\n", id, ev.Phase, ev.Cycles)
 		}
 	}
 	met, progress, closeTel, err := f.Telemetry("cobra-experiments")
@@ -90,56 +85,22 @@ func run() error {
 		cfg.Progress = os.Stderr
 		cfg.ProgressEvery = progress
 	}
+	// One flag decides where grids run; the grids themselves don't care.
+	cfg.Backend, _, err = f.ResolveBackend("cobra-experiments", met, onProgress)
+	if err != nil {
+		return err
+	}
 
-	all := []string{"table1", "table2", "table3", "fig8", "fig9", "fig10",
-		"d1", "d2", "d3", "d4", "tracegap", "energy", "h2p",
-		"shootout", "ablation-loop", "ablation-ubtb", "ablation-meta", "ablation-width"}
 	want := strings.Split(*exp, ",")
 	if *exp == "all" {
-		want = all
+		want = experiments.Ids()
 	}
 	for _, id := range want {
-		switch strings.TrimSpace(id) {
-		case "table1":
-			fmt.Println(experiments.TableI())
-		case "table2":
-			fmt.Println(experiments.TableII())
-		case "table3":
-			fmt.Println(experiments.TableIII())
-		case "fig8":
-			fmt.Println(experiments.Fig8())
-		case "fig9":
-			fmt.Println(experiments.Fig9())
-		case "fig10":
-			_, t := experiments.Fig10(cfg)
-			fmt.Println(t)
-		case "d1":
-			fmt.Println(experiments.SerializedFetch(cfg))
-		case "d2":
-			fmt.Println(experiments.TageLatency(cfg))
-		case "d3":
-			fmt.Println(experiments.HistoryRepair(cfg))
-		case "d4":
-			fmt.Println(experiments.SFB(cfg))
-		case "tracegap":
-			fmt.Println(experiments.TraceGap(cfg))
-		case "energy":
-			fmt.Println(experiments.Energy(cfg))
-		case "ablation-loop":
-			fmt.Println(experiments.AblationLoop(cfg))
-		case "ablation-ubtb":
-			fmt.Println(experiments.AblationUBTB(cfg))
-		case "ablation-meta":
-			fmt.Println(experiments.AblationMetadata())
-		case "ablation-width":
-			fmt.Println(experiments.AblationWidth(cfg))
-		case "shootout":
-			fmt.Println(experiments.Shootout(cfg))
-		case "h2p":
-			fmt.Println(experiments.H2P(cfg))
-		default:
-			return fmt.Errorf("unknown experiment %q (have %s)", id, strings.Join(all, " "))
+		out, err := experiments.Render(strings.TrimSpace(id), cfg)
+		if err != nil {
+			return err
 		}
+		fmt.Println(out)
 	}
 	return nil
 }

@@ -11,6 +11,11 @@
 //	cobra-sim -design b2 -workload gcc -print-spec > run.json
 //	cobra-sim -spec run.json
 //	cobra-sim -design b2 -workload gcc -server http://localhost:8080
+//
+// Where the run executes is one flag: without -server the spec runs
+// in-process, with it the same canonical spec runs on a cobra-serve daemon
+// through the unified backend — byte-identical results either way, because
+// the spec digest pins the simulation.
 package main
 
 import (
@@ -32,10 +37,9 @@ func main() { cli.Main("cobra-sim", run) }
 
 func run() error {
 	f := cli.AddRunFlags(flag.CommandLine,
-		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GFaults|cli.GEvents|cli.GTelemetry)
+		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GFaults|cli.GEvents|cli.GTelemetry|cli.GServer|cli.GDigest)
 	specPath := flag.String("spec", "", "run the RunSpec JSON file at this path (run-shaping flags are ignored; -events/-top-branches still apply)")
 	printSpec := flag.Bool("print-spec", false, "print the canonical RunSpec JSON to stdout and its digest to stderr, then exit without running")
-	server := flag.String("server", "", "execute on the cobra-serve daemon at this URL instead of in-process (retries ride out restarts; results are byte-identical)")
 	verbose := flag.Bool("v", false, "print extended counters")
 	flag.Parse()
 	if exit, err := f.Handle("cobra-sim"); err != nil || exit {
@@ -80,9 +84,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "digest:", digest)
 		return nil
 	}
-
-	if *server != "" {
-		return runRemote(*server, s, f, *verbose)
+	if w := f.DigestWriter(); w != nil {
+		digest, err := s.Digest()
+		if err != nil {
+			return err
+		}
+		cli.EmitDigest(w, digest)
 	}
 
 	met, _, closeTel, err := f.Telemetry("cobra-sim")
@@ -90,19 +97,46 @@ func run() error {
 		return err
 	}
 	defer closeTel()
-	if met != nil {
-		met.AddJobs(1)
-		met.JobStarted()
+
+	// The one local/remote fork left: remote runs get a live progress line,
+	// and remote results cannot carry the in-process attribution profile.
+	var pl *progressLine
+	var onProgress func(client.Progress)
+	if f.ServerURL() != "" {
+		if *f.TopBranches > 0 {
+			return fmt.Errorf("-top-branches needs the in-process attribution profile; run without -server")
+		}
+		pl = newProgressLine(os.Stderr)
+		onProgress = pl.update
 	}
-	out, err := spec.Exec(s, spec.Attach{Metrics: met})
-	if met != nil {
-		met.JobDone(err != nil)
+	be, remote, err := f.ResolveBackend("cobra-sim", met, onProgress)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if remote && f.Timeout != nil && *f.Timeout > 0 {
+		// In-process runs enforce the spec's own TimeoutMS inside Exec; a
+		// remote conversation needs a client-side bound on the whole
+		// submit/poll exchange too.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *f.Timeout)
+		defer cancel()
+	}
+	out, err := be.Run(ctx, s)
+	if pl != nil {
+		pl.finish()
 	}
 	if err != nil {
 		return err
 	}
+
 	res := out.Stats
-	fmt.Printf("design=%s topology=%q workload=%s\n", s.Design, s.Topology, s.Workload)
+	where := ""
+	if remote {
+		where = " server=" + be.Name()
+	}
+	fmt.Printf("design=%s topology=%q workload=%s%s\n", s.Design, s.Topology, s.Workload, where)
 	fmt.Println(res)
 	if *verbose {
 		printVerbose(res)
@@ -113,49 +147,6 @@ func run() error {
 	}
 	if *f.Events != "" {
 		if err := writeEvents(*f.Events, out.Events, out.EventsTotal); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// runRemote executes the spec on a cobra-serve daemon instead of in-process.
-// The spec digest keys the conversation, so the daemon's answer — fresh,
-// cached, or recomputed after a crash — is byte-identical to a local run;
-// the retrying client rides out restarts, backpressure, and drains.
-func runRemote(server string, s *spec.RunSpec, f *cli.RunFlags, verbose bool) error {
-	if f.TopBranches != nil && *f.TopBranches > 0 {
-		return fmt.Errorf("-top-branches needs the in-process attribution profile; run without -server")
-	}
-	logger, err := f.Logger("cobra-sim")
-	if err != nil {
-		return err
-	}
-	pl := newProgressLine(os.Stderr)
-	cl, err := client.New(client.Config{BaseURL: server, Log: logger, OnProgress: pl.update})
-	if err != nil {
-		return err
-	}
-	ctx := context.Background()
-	if f.Timeout != nil && *f.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *f.Timeout)
-		defer cancel()
-	}
-	res, err := cl.Run(ctx, s)
-	pl.finish()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("design=%s topology=%q workload=%s server=%s%s\n",
-		s.Design, s.Topology, s.Workload, server, retriesTag(res))
-	fmt.Println(res.Stats)
-	if verbose {
-		printVerbose(res.Stats)
-		printProviders(res.Stats)
-	}
-	if f.Events != nil && *f.Events != "" {
-		if err := writeEvents(*f.Events, res.Events, res.EventsTotal); err != nil {
 			return err
 		}
 	}
@@ -210,13 +201,6 @@ func (p *progressLine) finish() {
 	if p.tty && p.wrote {
 		fmt.Fprint(p.w, "\r\033[K")
 	}
-}
-
-func retriesTag(res *client.Result) string {
-	if res.Retries > 0 {
-		return fmt.Sprintf(" retries=%d", res.Retries)
-	}
-	return ""
 }
 
 // writeEvents exports the captured event trace to path: Chrome trace_event

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"cobra/internal/area"
+	"cobra/internal/backend"
+	"cobra/internal/client"
 	"cobra/internal/commercial"
 	"cobra/internal/compose"
 	"cobra/internal/faults"
@@ -286,6 +288,38 @@ func (d Design) Spec(workload string) *Spec {
 // outcome.  The spec is not mutated; callers that want the canonical form
 // that actually ran (for digests or provenance) should Canonicalize first.
 func RunSpec(s *Spec) (*SpecOutcome, error) { return spec.Exec(s, spec.Attach{}) }
+
+// SpecSet is a named, canonicalizable grid over Spec fields — one base spec
+// plus axes that vary it.  Sets expand deterministically (row-major cross
+// product), digest like specs do, and are the shared sweep data model of
+// cobra-sweep and cobra-compose.
+type SpecSet = spec.Set
+
+// SpecAxis varies one Spec field over a list of values inside a SpecSet.
+type SpecAxis = spec.Axis
+
+// ParseSpecSet decodes a SpecSet from JSON, rejecting unknown fields.
+func ParseSpecSet(data []byte) (*SpecSet, error) { return spec.ParseSet(data) }
+
+// Backend is the unified execution seam: something that runs canonical
+// Specs and returns their outcomes, either in-process or on a cobra-serve
+// daemon.  Every grid-shaped consumer (cobra-experiments, cobra-compose,
+// library callers) takes a Backend instead of choosing locations itself,
+// and the spec digest guarantees both implementations return byte-identical
+// outcomes for the same spec.
+type Backend = backend.Backend
+
+// LocalBackend returns a Backend that executes specs in this process
+// through the parallel runner's containment boundary (panics become errors,
+// telemetry lands on m when non-nil).
+func LocalBackend(m *Metrics) Backend { return &backend.Local{Metrics: m} }
+
+// RemoteBackend returns a Backend that executes specs on the cobra-serve
+// daemon at url through the retrying client (idempotent resubmission by
+// digest; restarts, backpressure, and drains are ridden out).
+func RemoteBackend(url string) (Backend, error) {
+	return backend.NewRemote(client.Config{BaseURL: url})
+}
 
 // RunConfig configures a full-core simulation.
 type RunConfig struct {

@@ -10,11 +10,14 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
 	"time"
 
+	"cobra/internal/backend"
+	"cobra/internal/client"
 	"cobra/internal/obs"
 	"cobra/internal/spec"
 )
@@ -41,6 +44,11 @@ const (
 	GTelemetry
 	// GProgress registers -progress (the periodic runner status line).
 	GProgress
+	// GServer registers -server (remote execution on a cobra-serve daemon).
+	GServer
+	// GDigest registers -print-digest (the shared digest=<sha256> provenance
+	// line every spec-expanding tool emits the same way).
+	GDigest
 )
 
 // RunFlags holds the registered run-shaping flags.  Fields for groups a tool
@@ -80,6 +88,9 @@ type RunFlags struct {
 	MetricsAddr *string
 	PprofAddr   *string
 	Progress    *time.Duration
+
+	Server      *string
+	PrintDigest *bool
 }
 
 // AddRunFlags registers the selected groups on fs (pass flag.CommandLine for
@@ -127,7 +138,59 @@ func AddRunFlags(fs *flag.FlagSet, g Groups) *RunFlags {
 	if g&GProgress != 0 {
 		f.Progress = fs.Duration("progress", 0, "print a runner status line to stderr at this period (0 = off)")
 	}
+	if g&GServer != 0 {
+		f.Server = fs.String("server", "", "execute on the cobra-serve daemon at this URL instead of in-process (results are byte-identical; retries ride out restarts)")
+	}
+	if g&GDigest != 0 {
+		f.PrintDigest = fs.Bool("print-digest", false, "emit one digest=<sha256> provenance line per executed run spec on stderr (matches the run_digest in serve logs and the journal)")
+	}
 	return f
+}
+
+// ServerURL returns the -server flag's value ("" = run in-process).
+func (f *RunFlags) ServerURL() string { return str(f.Server) }
+
+// DigestWriter returns the sink -print-digest selects: stderr when the flag
+// is set, nil otherwise.  Tools hand it to whatever expands their run specs
+// so every digest=<sha256> line renders through EmitDigest's one format.
+func (f *RunFlags) DigestWriter() io.Writer {
+	if f.PrintDigest != nil && *f.PrintDigest {
+		return os.Stderr
+	}
+	return nil
+}
+
+// EmitDigest writes the shared provenance line for one run spec digest —
+// the same digest=<sha256:...> key=value pair the serve logs and the run
+// journal carry, so a local invocation and a daemon's records grep alike.
+// A nil writer drops the line, letting callers pass DigestWriter() through
+// unconditionally.
+func EmitDigest(w io.Writer, digest string) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "digest=%s\n", digest)
+}
+
+// ResolveBackend turns the -server flag into the execution backend the tool
+// runs on: a backend.Remote for a non-empty URL (onProgress, when non-nil,
+// receives the daemon's live progress frames), a backend.Local over met
+// otherwise.  remote reports which way it went, for the few capabilities a
+// wire result cannot carry.
+func (f *RunFlags) ResolveBackend(tool string, met *obs.Metrics, onProgress func(client.Progress)) (be backend.Backend, remote bool, err error) {
+	url := f.ServerURL()
+	if url == "" {
+		return &backend.Local{Metrics: met}, false, nil
+	}
+	logger, err := f.Logger(tool)
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := backend.NewRemote(client.Config{BaseURL: url, Log: logger, OnProgress: onProgress})
+	if err != nil {
+		return nil, false, err
+	}
+	return r, true, nil
 }
 
 // SetDefault overrides a registered flag's default before Parse — tools with

@@ -15,12 +15,13 @@ import (
 	"time"
 
 	"cobra/internal/area"
-	"cobra/internal/client"
+	"cobra/internal/backend"
 	"cobra/internal/commercial"
 	"cobra/internal/compose"
 	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/runner"
+	"cobra/internal/spec"
 	"cobra/internal/stats"
 	"cobra/internal/trace"
 	"cobra/internal/uarch"
@@ -51,14 +52,20 @@ type Config struct {
 	// the experiments fan out (served by cobra-experiments -metrics-addr).
 	Metrics *obs.Metrics
 
-	// Remote, when non-nil, executes every runAll grid on a cobra-serve
-	// daemon instead of in-process: each grid point becomes a canonical
-	// RunSpec carrying the exact per-index seed the local runner would
-	// derive, so the returned counters are byte-identical to a local run.
+	// Backend, when non-nil, executes every runAll grid through the unified
+	// Backend interface instead of the in-process fast path: each grid
+	// point becomes a canonical RunSpec carrying the exact per-index seed
+	// the local runner would derive, so the returned counters are
+	// byte-identical either way — for a backend.Local trivially, and for a
+	// backend.Remote because the daemon runs the same spec.Exec.
 	// Experiments that need in-process handles (pipeline inspection for
 	// energy accounting, attribution profiles, pre-built programs) keep
-	// running locally.
-	Remote *client.Client
+	// running locally regardless.
+	Backend backend.Backend
+	// Digests, when non-nil, receives one "digest=<sha256>" line per grid
+	// spec before it runs (Backend path only) — the shared -print-digest
+	// surface of the CLI tools.
+	Digests io.Writer
 	// Progress, when non-nil, gets a periodic one-line status report while
 	// a grid runs (cobra-experiments -progress).
 	Progress io.Writer
@@ -152,11 +159,11 @@ func (c Config) runnerOptions() runner.Options {
 
 // runAll fans an experiment's independent simulations out across
 // c.Parallelism workers; results come back in submission order.  With
-// Config.Remote set the same grid executes on a cobra-serve daemon instead,
-// byte-identically (see runAllRemote).
+// Config.Backend set the same grid executes through the unified backend
+// instead, byte-identically (see runAllBackend).
 func (c Config) runAll(jobs []runner.Sim) []*stats.Sim {
-	if c.Remote != nil && remotable(jobs) {
-		return c.runAllRemote(jobs)
+	if c.Backend != nil && remotable(jobs) {
+		return c.runAllBackend(jobs)
 	}
 	full, err := runner.RunFull(jobs, c.runnerOptions())
 	if err != nil {
@@ -182,36 +189,36 @@ func remotable(jobs []runner.Sim) bool {
 	return true
 }
 
-// runAllRemote submits a grid to the daemon Config.Remote points at.  Job i
-// becomes the canonical RunSpec with seed Derive(c.Seed, i) — exactly the
-// seed the local RunFull path would hand it — so the daemon's counters (and
-// therefore every printed table cell) match a local run bit for bit.  The
-// paranoid guard still holds remotely: the spec carries the flag and
-// spec.Exec fails the run on any invariant violation, which surfaces here
-// as a run error.  Failures panic like the local path does.
-func (c Config) runAllRemote(jobs []runner.Sim) []*stats.Sim {
-	type outcome struct {
-		s   *stats.Sim
-		err error
-	}
-	res := runner.Map(c.Parallelism, len(jobs), func(i int) outcome {
+// runAllBackend submits a grid to Config.Backend.  Job i becomes the
+// canonical RunSpec with seed Derive(c.Seed, i) — exactly the seed the local
+// RunFull path would hand it — so the backend's counters (and therefore
+// every printed table cell) match the in-process fast path bit for bit.
+// The paranoid guard still holds: the spec carries the flag and spec.Exec
+// fails the run on any invariant violation, which surfaces here as a run
+// error.  Failures panic like the local path does.
+func (c Config) runAllBackend(jobs []runner.Sim) []*stats.Sim {
+	specs := make([]*spec.RunSpec, len(jobs))
+	for i := range jobs {
 		sp, err := runner.FromSim(jobs[i], runner.Derive(c.Seed, uint64(i)))
 		if err != nil {
-			return outcome{err: err}
+			panic(fmt.Sprintf("experiments: %q on %s: %v", jobs[i].Topology, jobs[i].Workload, err))
 		}
-		r, err := c.Remote.Run(context.Background(), sp)
-		if err != nil {
-			return outcome{err: err}
+		specs[i] = sp
+		if c.Digests != nil {
+			d, err := sp.Digest()
+			if err != nil {
+				panic("experiments: " + err.Error())
+			}
+			fmt.Fprintf(c.Digests, "digest=%s\n", d)
 		}
-		return outcome{s: r.Stats}
-	})
-	out := make([]*stats.Sim, len(res))
-	for i, r := range res {
-		if r.err != nil {
-			panic(fmt.Sprintf("experiments: remote %q on %s: %v",
-				jobs[i].Topology, jobs[i].Workload, r.err))
-		}
-		out[i] = r.s
+	}
+	outs, err := backend.All(context.Background(), c.Backend, specs, c.Parallelism)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: backend %s: %v", c.Backend.Name(), err))
+	}
+	out := make([]*stats.Sim, len(outs))
+	for i, o := range outs {
+		out[i] = o.Stats
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cobra/internal/backend"
 	"cobra/internal/client"
 	"cobra/internal/runner"
 	"cobra/internal/serve"
@@ -13,7 +14,7 @@ import (
 	"cobra/internal/workloads"
 )
 
-// TestRemoteMatchesLocal: a grid executed through Config.Remote — specs
+// TestRemoteMatchesLocal: a grid executed through a remote Backend — specs
 // submitted to an in-process cobra-serve daemon — renders the exact same
 // table as the in-process runner, because each grid point carries the same
 // derived seed either way.  This is the tentpole equivalence behind
@@ -34,18 +35,26 @@ func TestRemoteMatchesLocal(t *testing.T) {
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck
 	}()
-	cl, err := client.New(client.Config{BaseURL: ts.URL, Poll: 10 * time.Millisecond})
+	be, err := backend.NewRemote(client.Config{BaseURL: ts.URL, Poll: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	local := Config{Insts: 30_000, Seed: 42, Parallelism: 4}
 	remote := local
-	remote.Remote = cl
+	remote.Backend = be
 	want := TageLatency(local).String()
 	got := TageLatency(remote).String()
 	if got != want {
 		t.Errorf("remote table differs from local:\n--- local ---\n%s--- remote ---\n%s", want, got)
+	}
+
+	// The same grid through a backend.Local must also match: the Backend
+	// seam itself introduces no byte-level drift.
+	viaLocal := local
+	viaLocal.Backend = &backend.Local{}
+	if g := TageLatency(viaLocal).String(); g != want {
+		t.Errorf("local-backend table differs from fast path:\n--- fast ---\n%s--- backend ---\n%s", want, g)
 	}
 
 	// A grid with pre-built programs is not remotable and must fall back to

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The result cache is a directory of sealed JSON entries keyed by service
+// digest.  Because the digest covers the service's canonical content AND its
+// dependencies' digests (see File.Digest), a hit proves the cached output
+// was produced by byte-identical inputs — skipping is substitution, not
+// guessing.  Entries are written to a temp file and renamed into place, so a
+// crash mid-write leaves garbage the loader ignores, never a torn entry
+// presented as truth (the same sealing discipline cobra-serve's disk cache
+// uses).
+
+// cacheEntry is one cached service result.
+type cacheEntry struct {
+	Service string `json:"service"`
+	Digest  string `json:"digest"`
+	Output  string `json:"output"`
+}
+
+// cachePath maps a digest to its entry file.
+func cachePath(dir, digest string) string {
+	return filepath.Join(dir, strings.TrimPrefix(digest, "sha256:")+".json")
+}
+
+// cacheLoad returns the cached output for digest, if a well-formed entry
+// exists.  Any read or decode failure is a miss: the executor re-runs and
+// rewrites, so corruption heals itself.
+func cacheLoad(dir, digest string) (string, bool) {
+	if dir == "" {
+		return "", false
+	}
+	data, err := os.ReadFile(cachePath(dir, digest))
+	if err != nil {
+		return "", false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Digest != digest {
+		return "", false
+	}
+	return e.Output, true
+}
+
+// cacheStore seals an entry: temp file, fsync-free write, atomic rename.
+func cacheStore(dir, digest string, e cacheEntry) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".entry-*")
+	if err != nil {
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), cachePath(dir, digest)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stages partitions the fleet into execution waves: stage k holds every
+// service whose dependencies all live in stages < k (Kahn's algorithm by
+// level).  Services within a stage are sorted by name, so the schedule is a
+// pure function of the file — the golden tests pin it.  A dependency cycle
+// is reported with its members.
+func (f *File) Stages() ([][]string, error) {
+	indeg := map[string]int{}
+	down := map[string][]string{} // dep -> dependents
+	for name, svc := range f.Services {
+		indeg[name] += 0
+		for _, dep := range svc.DependsOn {
+			indeg[name]++
+			down[dep] = append(down[dep], name)
+		}
+	}
+	var (
+		stages [][]string
+		placed int
+	)
+	frontier := make([]string, 0, len(indeg))
+	for name, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, name)
+		}
+	}
+	for len(frontier) > 0 {
+		sort.Strings(frontier)
+		stages = append(stages, frontier)
+		placed += len(frontier)
+		var next []string
+		for _, name := range frontier {
+			for _, dependent := range down[name] {
+				if indeg[dependent]--; indeg[dependent] == 0 {
+					next = append(next, dependent)
+				}
+			}
+		}
+		frontier = next
+	}
+	if placed != len(f.Services) {
+		var cyc []string
+		for name, d := range indeg {
+			if d > 0 {
+				cyc = append(cyc, name)
+			}
+		}
+		sort.Strings(cyc)
+		return nil, fmt.Errorf("fleet: dependency cycle involving %s", strings.Join(cyc, ", "))
+	}
+	return stages, nil
+}
+
+// Digests computes every service's content digest in dependency order.
+func (f *File) Digests() (map[string]string, error) {
+	stages, err := f.Stages()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(f.Services))
+	for _, stage := range stages {
+		for _, name := range stage {
+			d, err := f.Digest(f.Services[name], out)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = d
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+// Package fleet runs compose-style fleets of simulations: a YAML (or JSON)
+// file names services — single runs, sweep grids, paper experiments, bundles
+// — wires them with depends_on edges, and the executor runs the DAG in
+// stages over any execution backend, skipping every service whose content
+// digest already has a cached result.  One file reproduces the paper; one
+// edit re-runs only its downstream cone.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The repo deliberately has zero dependencies, so fleet files are parsed by
+// this minimal YAML-subset reader instead of a third-party library.  The
+// subset is the part of YAML a compose file actually uses:
+//
+//   - mappings (`key: value`, or `key:` introducing an indented block)
+//   - sequences (`- item`, `-` introducing a block, `- key: v` inline maps)
+//   - flow sequences of scalars (`[512, 1024, "x"]`)
+//   - scalars: null/~, booleans, integers (with optional _ separators),
+//     floats, single- or double-quoted strings, bare strings
+//   - `#` comments (start of line or preceded by whitespace) and blank lines
+//
+// Anchors, aliases, multi-line strings, flow mappings, and tabs are not
+// supported and are rejected loudly.  Numbers are preserved verbatim (as
+// json.Number via the scalar string) so budgets like 2_000_000 survive the
+// trip into uint64 fields without float rounding.
+
+// yamlLine is one significant source line.
+type yamlLine struct {
+	indent int
+	text   string // content after indentation, comments stripped
+	n      int    // 1-based source line number
+}
+
+// yamlParse decodes the YAML subset into map[string]any / []any / scalar
+// values (strings, yamlNumber, bool, nil).
+func yamlParse(data []byte) (any, error) {
+	lines, err := yamlSplit(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("fleet: empty document")
+	}
+	v, pos, err := yamlNode(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(lines) {
+		return nil, fmt.Errorf("fleet: line %d: unexpected content after document (indentation?)", lines[pos].n)
+	}
+	return v, nil
+}
+
+// yamlNumber marks a scalar that parsed as a number; it serializes without
+// quotes on the JSON round-trip, like json.Number.
+type yamlNumber string
+
+// MarshalJSON emits the digits verbatim — no float round trip.
+func (n yamlNumber) MarshalJSON() ([]byte, error) { return []byte(n), nil }
+
+// yamlSplit strips comments and blank lines and measures indentation.
+func yamlSplit(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("fleet: line %d: tabs are not allowed in fleet files (use spaces)", i+1)
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		text := strings.TrimRight(yamlStripComment(raw[indent:]), " ")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(out) == 0 {
+			continue // document start marker
+		}
+		out = append(out, yamlLine{indent, text, i + 1})
+	}
+	return out, nil
+}
+
+// yamlStripComment removes a trailing comment: a # at the start or preceded
+// by a space, outside quotes.
+func yamlStripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// yamlNode parses the block starting at lines[pos], whose first line sits at
+// exactly indent.  It returns the value and the position one past the block.
+func yamlNode(lines []yamlLine, pos, indent int) (any, int, error) {
+	l := lines[pos]
+	if l.indent != indent {
+		return nil, pos, fmt.Errorf("fleet: line %d: bad indentation", l.n)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return yamlSeq(lines, pos, indent)
+	}
+	if yamlColon(l.text) >= 0 {
+		return yamlMap(lines, pos, indent)
+	}
+	// A lone scalar document ("just a string").
+	v, err := yamlScalar(l.text, l.n)
+	return v, pos + 1, err
+}
+
+// yamlColon finds the key/value separator: the first ": " or a trailing ":"
+// outside quotes.  Returns -1 when the line is not a mapping entry.
+func yamlColon(s string) int {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ':' && (i == len(s)-1 || s[i+1] == ' '):
+			return i
+		}
+	}
+	return -1
+}
+
+func yamlMap(lines []yamlLine, pos, indent int) (any, int, error) {
+	m := map[string]any{}
+	for pos < len(lines) && lines[pos].indent >= indent {
+		l := lines[pos]
+		if l.indent > indent {
+			return nil, pos, fmt.Errorf("fleet: line %d: bad indentation", l.n)
+		}
+		ci := yamlColon(l.text)
+		if ci < 0 {
+			if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+				return nil, pos, fmt.Errorf("fleet: line %d: sequences must be indented under their key", l.n)
+			}
+			return nil, pos, fmt.Errorf("fleet: line %d: expected \"key: value\"", l.n)
+		}
+		key := strings.TrimSpace(l.text[:ci])
+		if strings.HasPrefix(key, "- ") {
+			return nil, pos, fmt.Errorf("fleet: line %d: sequences must be indented under their key", l.n)
+		}
+		if k, err := yamlScalar(key, l.n); err == nil {
+			if s, ok := k.(string); ok {
+				key = s // unquote quoted keys
+			}
+		}
+		if key == "" {
+			return nil, pos, fmt.Errorf("fleet: line %d: empty mapping key", l.n)
+		}
+		if _, dup := m[key]; dup {
+			return nil, pos, fmt.Errorf("fleet: line %d: duplicate key %q", l.n, key)
+		}
+		rest := strings.TrimSpace(l.text[ci+1:])
+		if rest != "" {
+			v, err := yamlScalar(rest, l.n)
+			if err != nil {
+				return nil, pos, err
+			}
+			m[key] = v
+			pos++
+			continue
+		}
+		pos++
+		if pos >= len(lines) || lines[pos].indent <= indent {
+			m[key] = nil // empty value
+			continue
+		}
+		v, next, err := yamlNode(lines, pos, lines[pos].indent)
+		if err != nil {
+			return nil, pos, err
+		}
+		m[key] = v
+		pos = next
+	}
+	return m, pos, nil
+}
+
+func yamlSeq(lines []yamlLine, pos, indent int) (any, int, error) {
+	var seq []any
+	for pos < len(lines) && lines[pos].indent == indent {
+		l := lines[pos]
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			break
+		}
+		if l.text == "-" { // block item
+			pos++
+			if pos >= len(lines) || lines[pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, next, err := yamlNode(lines, pos, lines[pos].indent)
+			if err != nil {
+				return nil, pos, err
+			}
+			seq = append(seq, v)
+			pos = next
+			continue
+		}
+		rest := l.text[2:]
+		if yamlColon(rest) >= 0 {
+			// Inline mapping item: `- field: design` starts a map whose keys
+			// continue at the column after "- ".  Rewriting the line in place
+			// is safe — parsing only moves forward.
+			lines[pos] = yamlLine{indent + 2, rest, l.n}
+			v, next, err := yamlMap(lines, pos, indent+2)
+			if err != nil {
+				return nil, pos, err
+			}
+			seq = append(seq, v)
+			pos = next
+			continue
+		}
+		v, err := yamlScalar(strings.TrimSpace(rest), l.n)
+		if err != nil {
+			return nil, pos, err
+		}
+		seq = append(seq, v)
+		pos++
+	}
+	if pos < len(lines) && lines[pos].indent > indent {
+		return nil, pos, fmt.Errorf("fleet: line %d: bad indentation", lines[pos].n)
+	}
+	return seq, pos, nil
+}
+
+// yamlScalar parses one scalar token, or a flow sequence of scalars.
+func yamlScalar(s string, n int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("fleet: line %d: unterminated flow sequence %q", n, s)
+		}
+		var seq []any
+		for _, part := range yamlSplitFlow(s[1 : len(s)-1]) {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := yamlScalar(part, n)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("fleet: line %d: flow mappings are not supported (use an indented block)", n)
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") {
+		return nil, fmt.Errorf("fleet: line %d: anchors/aliases are not supported", n)
+	}
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		if s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("fleet: line %d: unterminated string %s", n, s)
+		}
+		body := s[1 : len(s)-1]
+		if s[0] == '\'' {
+			return strings.ReplaceAll(body, "''", "'"), nil
+		}
+		return strings.ReplaceAll(body, `\"`, `"`), nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if yamlIsNumber(s) {
+		return yamlNumber(strings.ReplaceAll(s, "_", "")), nil
+	}
+	return s, nil
+}
+
+// yamlSplitFlow splits a flow-sequence body on commas outside quotes.
+func yamlSplitFlow(s string) []string {
+	var (
+		parts []string
+		start int
+		quote byte
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ',':
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// yamlIsNumber recognizes integers and simple floats, with optional sign and
+// _ digit separators (2_000_000).
+func yamlIsNumber(s string) bool {
+	i, digits, dot := 0, false, false
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		i++
+	}
+	for ; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+			digits = true
+		case s[i] == '_' && digits:
+		case s[i] == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return digits
+}

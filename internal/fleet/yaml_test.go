@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYamlScalarsAndNesting(t *testing.T) {
+	doc := `
+# a comment
+version: 1
+name: demo  # trailing comment
+count: 2_000_000
+ratio: 0.5
+neg: -3
+on: true
+off: false
+nothing: null
+tilde: ~
+quoted: "a: b # not a comment"
+single: 'it''s'
+topology: GTAG3 > BTB2 > BIM2
+url: http://localhost:8080
+flow: [512, 1024, "x, y", tage-l]
+nested:
+  inner:
+    deep: yes-a-string
+list:
+  - one
+  - 2
+  - field: design
+    values: [a, b]
+`
+	v, err := yamlParse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("got %T, want map", v)
+	}
+	want := map[string]any{
+		"version": yamlNumber("1"), "name": "demo",
+		"count": yamlNumber("2000000"), "ratio": yamlNumber("0.5"),
+		"neg": yamlNumber("-3"), "on": true, "off": false,
+		"nothing": nil, "tilde": nil,
+		"quoted": "a: b # not a comment", "single": "it's",
+		"topology": "GTAG3 > BTB2 > BIM2", "url": "http://localhost:8080",
+		"flow":   []any{yamlNumber("512"), yamlNumber("1024"), "x, y", "tage-l"},
+		"nested": map[string]any{"inner": map[string]any{"deep": "yes-a-string"}},
+		"list": []any{"one", yamlNumber("2"),
+			map[string]any{"field": "design", "values": []any{"a", "b"}}},
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Errorf("parse mismatch:\ngot  %#v\nwant %#v", m, want)
+	}
+}
+
+func TestYamlErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"tab", "a:\n\tb: 1", "tabs"},
+		{"dup", "a: 1\na: 2", "duplicate key"},
+		{"unterminated", `a: "open`, "unterminated string"},
+		{"flowmap", "a: {b: 1}", "flow mappings"},
+		{"anchor", "a: &x 1", "anchors"},
+		{"seq-at-key-indent", "items:\n- a\n- b", "indented under"},
+		{"bad-indent", "a:\n    b: 1\n  c: 2", "indentation"},
+		{"empty", "   \n# only comments\n", "empty document"},
+		{"trailing-flow", "a: [1, 2", "unterminated flow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := yamlParse([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("yamlParse(%q) error = %v, want substring %q", tc.doc, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestYamlNumberJSON(t *testing.T) {
+	got, err := yamlNumber("2000000").MarshalJSON()
+	if err != nil || string(got) != "2000000" {
+		t.Errorf("MarshalJSON = %s, %v; want raw digits", got, err)
+	}
+}
