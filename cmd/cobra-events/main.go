@@ -21,6 +21,7 @@ import (
 
 	"cobra"
 	"cobra/internal/cli"
+	"cobra/internal/interval"
 	"cobra/internal/stats"
 )
 
@@ -37,6 +38,7 @@ func run() error {
 		until    = flag.Uint64("until", math.MaxUint64, "keep only events at or before this cycle")
 		limit    = flag.Int("n", 0, "print at most N events (0 = all)")
 		doStats  = flag.Bool("stats", false, "print per-kind and per-component counts instead of records")
+		byWindow = flag.Uint64("by-window", 0, "with -stats: bucket the counts into windows of N cycles (time-resolved view of the trace)")
 		chrome   = flag.String("chrome", "", "convert the (filtered) events to Chrome trace_event JSON at this path")
 	)
 	paranoid := f.Paranoid
@@ -93,8 +95,14 @@ func run() error {
 		return nil
 	}
 	if *doStats {
+		if *byWindow > 0 {
+			return printWindowed(filtered, *byWindow)
+		}
 		printStats(filtered)
 		return nil
+	}
+	if *byWindow > 0 {
+		return fmt.Errorf("-by-window needs -stats")
 	}
 	n := len(filtered)
 	if *limit > 0 && *limit < n {
@@ -183,6 +191,35 @@ func printEvent(ev *cobra.Event) {
 		fmt.Printf(" metasum=%#x", ev.MetaSum)
 	}
 	fmt.Println()
+}
+
+// printWindowed buckets the (filtered) trace into fixed cycle windows through
+// the interval subsystem and prints one row per window — the time-resolved
+// companion to the flat -stats view.
+func printWindowed(events []cobra.Event, every uint64) error {
+	set, err := interval.FromEvents(events, every)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d events in %d windows of %d cycles\n", len(events), len(set.Windows), every)
+	t := &stats.Table{Title: "events by window",
+		Headers: []string{"window", "cycles", "predicts", "mispredicts", "squashes", "redirects", "repairs"}}
+	for i := range set.Windows {
+		w := &set.Windows[i]
+		var predicts uint64
+		for _, p := range w.Providers {
+			predicts += p.Branches
+		}
+		t.AddRow(fmt.Sprintf("%d", w.Index),
+			fmt.Sprintf("%d..%d", w.StartCycle, w.EndCycle),
+			fmt.Sprintf("%d", predicts),
+			fmt.Sprintf("%d", w.Mispredicts),
+			fmt.Sprintf("%d", w.Squashes),
+			fmt.Sprintf("%d", w.Redirects),
+			fmt.Sprintf("%d", w.HistoryRepairs))
+	}
+	fmt.Print(t)
+	return nil
 }
 
 func printStats(events []cobra.Event) {

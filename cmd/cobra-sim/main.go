@@ -28,6 +28,7 @@ import (
 
 	"cobra/internal/cli"
 	"cobra/internal/client"
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/spec"
 	"cobra/internal/stats"
@@ -37,7 +38,7 @@ func main() { cli.Main("cobra-sim", run) }
 
 func run() error {
 	f := cli.AddRunFlags(flag.CommandLine,
-		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GFaults|cli.GEvents|cli.GTelemetry|cli.GServer|cli.GDigest)
+		cli.GDesign|cli.GWorkload|cli.GBudget|cli.GHost|cli.GGuard|cli.GFaults|cli.GEvents|cli.GTelemetry|cli.GServer|cli.GDigest|cli.GIntervals)
 	specPath := flag.String("spec", "", "run the RunSpec JSON file at this path (run-shaping flags are ignored; -events/-top-branches still apply)")
 	printSpec := flag.Bool("print-spec", false, "print the canonical RunSpec JSON to stdout and its digest to stderr, then exit without running")
 	verbose := flag.Bool("v", false, "print extended counters")
@@ -68,6 +69,7 @@ func run() error {
 	if *f.TopBranches > 0 {
 		s.Observe.Attribution = true
 	}
+	f.ApplyIntervals(s)
 	if err := s.Canonicalize(); err != nil {
 		return err
 	}
@@ -150,7 +152,59 @@ func run() error {
 			return err
 		}
 	}
+	if path := f.IntervalsPath(); path != "" {
+		if out.Intervals == nil {
+			return fmt.Errorf("-intervals: run produced no interval telemetry")
+		}
+		if err := interval.WriteFile(path, out.Intervals); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "intervals: wrote %d windows to %s (%s)\n",
+			len(out.Intervals.Windows), path, out.Intervals.Hash)
+	}
+	if f.WantSparkline() {
+		if out.Intervals == nil {
+			return fmt.Errorf("-sparkline: run produced no interval telemetry")
+		}
+		fmt.Print(sparklines(out.Intervals))
+	}
 	return nil
+}
+
+// sparklines renders the per-window IPC and MPKI trajectories as one-line
+// unicode sparklines with min/max annotations — the ten-second "did anything
+// interesting happen over time" view of a run.
+func sparklines(set *interval.Set) string {
+	if len(set.Windows) == 0 {
+		return "intervals: no complete windows (run shorter than one interval)\n"
+	}
+	ipc := make([]float64, len(set.Windows))
+	mpki := make([]float64, len(set.Windows))
+	for i := range set.Windows {
+		ipc[i] = set.Windows[i].IPC()
+		mpki[i] = set.Windows[i].MPKI()
+	}
+	lo := func(vs []float64) float64 {
+		m := vs[0]
+		for _, v := range vs[1:] {
+			m = min(m, v)
+		}
+		return m
+	}
+	hi := func(vs []float64) float64 {
+		m := vs[0]
+		for _, v := range vs[1:] {
+			m = max(m, v)
+		}
+		return m
+	}
+	const width = 60
+	var b strings.Builder
+	fmt.Fprintf(&b, "ipc  %s  [%.3f … %.3f] over %d windows of %d insts\n",
+		interval.Spark(ipc, width), lo(ipc), hi(ipc), len(set.Windows), set.IntervalInsts)
+	fmt.Fprintf(&b, "mpki %s  [%.3f … %.3f]\n",
+		interval.Spark(mpki, width), lo(mpki), hi(mpki))
+	return b.String()
 }
 
 // progressLine renders the daemon's progress stream as a single live status
@@ -184,6 +238,9 @@ func (p *progressLine) update(ev client.Progress) {
 		if ev.InstsPerSec > 0 {
 			line += fmt.Sprintf(" (%.2gM insts/s)", ev.InstsPerSec/1e6)
 		}
+	}
+	if w := ev.Window; w != nil {
+		line += fmt.Sprintf(" window=%d ipc=%.3f mpki=%.2f", w.Index, w.IPC(), w.MPKI())
 	}
 	if p.tty {
 		fmt.Fprintf(p.w, "\r\033[K%s", line)

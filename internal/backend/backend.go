@@ -115,6 +115,7 @@ func (r *Remote) Run(ctx context.Context, s *spec.RunSpec) (*spec.Outcome, error
 		Stats:       res.Stats,
 		Events:      res.Events,
 		EventsTotal: res.EventsTotal,
+		Intervals:   res.Intervals,
 	}, nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"cobra/internal/backend"
 	"cobra/internal/client"
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/spec"
 )
@@ -49,6 +50,9 @@ const (
 	// GDigest registers -print-digest (the shared digest=<sha256> provenance
 	// line every spec-expanding tool emits the same way).
 	GDigest
+	// GIntervals registers -intervals/-interval-insts/-sparkline (windowed
+	// interval telemetry: time-resolved IPC/MPKI/provider counters).
+	GIntervals
 )
 
 // RunFlags holds the registered run-shaping flags.  Fields for groups a tool
@@ -91,6 +95,10 @@ type RunFlags struct {
 
 	Server      *string
 	PrintDigest *bool
+
+	Intervals     *string
+	IntervalInsts *uint64
+	Sparkline     *bool
 }
 
 // AddRunFlags registers the selected groups on fs (pass flag.CommandLine for
@@ -143,6 +151,11 @@ func AddRunFlags(fs *flag.FlagSet, g Groups) *RunFlags {
 	}
 	if g&GDigest != 0 {
 		f.PrintDigest = fs.Bool("print-digest", false, "emit one digest=<sha256> provenance line per executed run spec on stderr (matches the run_digest in serve logs and the journal)")
+	}
+	if g&GIntervals != 0 {
+		f.Intervals = fs.String("intervals", "", "write windowed interval telemetry to this .ivl file (CBRAIVL1 binary; diff two with cobra-diff)")
+		f.IntervalInsts = fs.Uint64("interval-insts", 0, fmt.Sprintf("interval window size in instructions (0 = %d when -intervals or -sparkline turns sampling on)", interval.DefaultInsts))
+		f.Sparkline = fs.Bool("sparkline", false, "render per-window IPC and MPKI sparklines after the run")
 	}
 	return f
 }
@@ -296,8 +309,28 @@ func (f *RunFlags) Spec() (*spec.RunSpec, error) {
 	if f.TopBranches != nil && *f.TopBranches > 0 {
 		s.Observe.Attribution = true
 	}
+	f.ApplyIntervals(s)
 	return s, nil
 }
+
+// ApplyIntervals stamps the interval-telemetry flags onto a spec: an explicit
+// -interval-insts sets the window size directly, while -intervals/-sparkline
+// without one turn sampling on at the default window.  Exported separately
+// from Spec so tools that load spec files (rather than build specs from
+// flags) can apply the same output-shaping overrides.
+func (f *RunFlags) ApplyIntervals(s *spec.RunSpec) {
+	if f.IntervalInsts != nil && *f.IntervalInsts > 0 {
+		s.Observe.IntervalInsts = *f.IntervalInsts
+	} else if s.Observe.IntervalInsts == 0 && (str(f.Intervals) != "" || f.Sparkline != nil && *f.Sparkline) {
+		s.Observe.IntervalInsts = interval.DefaultInsts
+	}
+}
+
+// IntervalsPath returns the -intervals flag's value ("" = no .ivl output).
+func (f *RunFlags) IntervalsPath() string { return str(f.Intervals) }
+
+// WantSparkline reports whether -sparkline asked for terminal sparklines.
+func (f *RunFlags) WantSparkline() bool { return f.Sparkline != nil && *f.Sparkline }
 
 // Preset returns the named Table I design point as a spec (see spec.Preset).
 func Preset(name string) (*spec.RunSpec, error) { return spec.Preset(name) }

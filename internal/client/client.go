@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/spec"
 	"cobra/internal/stats"
@@ -128,6 +129,9 @@ type Progress struct {
 	ElapsedMS   int64   `json:"elapsed_ms"`
 	QueuePos    int     `json:"queue_pos,omitempty"`
 	Done        bool    `json:"done"`
+	// Window is the most recently closed interval window, present while the
+	// watched run records interval telemetry (observe.interval_insts).
+	Window *interval.Window `json:"window,omitempty"`
 }
 
 // Result mirrors the daemon's stored run outcome.  Raw preserves the exact
@@ -141,6 +145,9 @@ type Result struct {
 	Stats         *stats.Sim      `json:"stats"`
 	Events        []obs.Event     `json:"events,omitempty"`
 	EventsTotal   uint64          `json:"events_total,omitempty"`
+	// Intervals is the windowed interval-telemetry summary (result_version
+	// >= 5) when the spec asked for it.
+	Intervals *interval.Set `json:"intervals,omitempty"`
 	Timings       json.RawMessage `json:"timings,omitempty"`
 	Retries       int             `json:"retries,omitempty"`
 	// Resources is the daemon's per-run resource attribution (result_version
@@ -282,6 +289,48 @@ func (c *Client) Watch(ctx context.Context, digest string, fn func(Progress)) er
 		}
 	}
 	return nil // broken stream: the caller's poll loop still settles the run
+}
+
+// Intervals fetches a finished run's windowed interval telemetry from
+// GET /v1/runs/{id}/intervals.  An unknown digest — or a run that did not
+// record intervals — is ErrNotFound.
+func (c *Client) Intervals(ctx context.Context, digest string) (*interval.Set, error) {
+	var set *interval.Set
+	_, err := c.withRetry(ctx, "intervals", func() (Status, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.cfg.BaseURL+"/v1/runs/"+digest+"/intervals", nil)
+		if err != nil {
+			return Status{}, err
+		}
+		resp, err := c.cfg.HTTP.Do(req)
+		if err != nil {
+			return Status{}, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			return Status{}, err
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			return Status{}, ErrNotFound
+		}
+		if resp.StatusCode != http.StatusOK {
+			return Status{}, &httpError{code: resp.StatusCode, msg: strings.TrimSpace(string(raw)),
+				retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		}
+		var doc struct {
+			Intervals *interval.Set `json:"intervals"`
+		}
+		if jerr := json.Unmarshal(raw, &doc); jerr != nil || doc.Intervals == nil {
+			return Status{}, fmt.Errorf("client: run %s: corrupt intervals payload", digest)
+		}
+		set = doc.Intervals
+		return Status{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
 }
 
 // Run is the whole conversation: submit sp, poll until it settles, and

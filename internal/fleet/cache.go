@@ -17,11 +17,14 @@ import (
 // presented as truth (the same sealing discipline cobra-serve's disk cache
 // uses).
 
-// cacheEntry is one cached service result.
+// cacheEntry is one cached service result.  Entries written before interval
+// digests existed decode with a nil IntervalDigests — a hit still replays
+// the output, it just reports no interval provenance.
 type cacheEntry struct {
-	Service string `json:"service"`
-	Digest  string `json:"digest"`
-	Output  string `json:"output"`
+	Service         string   `json:"service"`
+	Digest          string   `json:"digest"`
+	Output          string   `json:"output"`
+	IntervalDigests []string `json:"interval_digests,omitempty"`
 }
 
 // cachePath maps a digest to its entry file.
@@ -29,22 +32,22 @@ func cachePath(dir, digest string) string {
 	return filepath.Join(dir, strings.TrimPrefix(digest, "sha256:")+".json")
 }
 
-// cacheLoad returns the cached output for digest, if a well-formed entry
+// cacheLoad returns the cached entry for digest, if a well-formed one
 // exists.  Any read or decode failure is a miss: the executor re-runs and
 // rewrites, so corruption heals itself.
-func cacheLoad(dir, digest string) (string, bool) {
+func cacheLoad(dir, digest string) (cacheEntry, bool) {
+	var e cacheEntry
 	if dir == "" {
-		return "", false
+		return e, false
 	}
 	data, err := os.ReadFile(cachePath(dir, digest))
 	if err != nil {
-		return "", false
+		return e, false
 	}
-	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Digest != digest {
-		return "", false
+		return cacheEntry{}, false
 	}
-	return e.Output, true
+	return e, true
 }
 
 // cacheStore seals an entry: temp file, fsync-free write, atomic rename.

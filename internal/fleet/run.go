@@ -49,6 +49,11 @@ type ServiceResult struct {
 	// service's cone was unchanged, so nothing was executed for it.
 	Cached bool   `json:"cached"`
 	Output string `json:"-"`
+	// IntervalDigests are the content hashes of the interval-telemetry sets
+	// the service's runs produced (one per cell, in expansion order), for
+	// services whose specs sample intervals.  Cached entries replay the
+	// digests of the original execution.
+	IntervalDigests []string `json:"interval_digests,omitempty"`
 }
 
 // Result is a fleet execution's summary.
@@ -134,13 +139,14 @@ func (f *File) Run(ctx context.Context, opt Options) (*Result, error) {
 				defer func() { <-sem }()
 				sr := &ServiceResult{Name: svc.Name, Digest: digest}
 				var err error
-				if out, ok := cacheLoad(opt.CacheDir, digest); ok && !opt.Force {
-					sr.Cached, sr.Output = true, out
+				if e, ok := cacheLoad(opt.CacheDir, digest); ok && !opt.Force {
+					sr.Cached, sr.Output, sr.IntervalDigests = true, e.Output, e.IntervalDigests
 				} else {
-					sr.Output, err = f.exec(ctx, svc, be, workers, getOutput, emitDigests)
+					sr.Output, sr.IntervalDigests, err = f.exec(ctx, svc, be, workers, getOutput, emitDigests)
 					if err == nil {
 						err = cacheStore(opt.CacheDir, digest, cacheEntry{
 							Service: svc.Name, Digest: digest, Output: sr.Output,
+							IntervalDigests: sr.IntervalDigests,
 						})
 					}
 				}
@@ -161,7 +167,11 @@ func (f *File) Run(ctx context.Context, opt Options) (*Result, error) {
 					if sr.Cached {
 						action = "skipped"
 					}
-					fmt.Fprintf(opt.Log, "service=%s action=%s digest=%s\n", svc.Name, action, digest)
+					line := fmt.Sprintf("service=%s action=%s digest=%s", svc.Name, action, digest)
+					if n := len(sr.IntervalDigests); n > 0 {
+						line += fmt.Sprintf(" intervals=%d", n)
+					}
+					fmt.Fprintln(opt.Log, line)
 				}
 			}()
 		}
@@ -179,40 +189,53 @@ func (f *File) Run(ctx context.Context, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// exec produces one service's output bytes.
-func (f *File) exec(ctx context.Context, svc *Service, be backend.Backend, workers int, getOutput func(string) (string, bool), emitDigests func(...*spec.RunSpec) error) (string, error) {
+// exec produces one service's output bytes, plus the interval-set content
+// hashes of its runs (in expansion order) when its specs sample intervals.
+func (f *File) exec(ctx context.Context, svc *Service, be backend.Backend, workers int, getOutput func(string) (string, bool), emitDigests func(...*spec.RunSpec) error) (string, []string, error) {
 	switch {
 	case svc.Run != nil:
 		if err := emitDigests(svc.Run); err != nil {
-			return "", err
+			return "", nil, err
 		}
 		out, err := be.Run(ctx, svc.Run)
 		if err != nil {
-			return "", err
+			return "", nil, err
+		}
+		var ivls []string
+		if out.Intervals != nil {
+			ivls = []string{out.Intervals.Hash}
 		}
 		return fmt.Sprintf("design=%s topology=%q workload=%s\n%s",
-			svc.Run.Design, svc.Run.Topology, svc.Run.Workload, out.Stats), nil
+			svc.Run.Design, svc.Run.Topology, svc.Run.Workload, out.Stats), ivls, nil
 
 	case svc.Sweep != nil:
 		specs, err := svc.Sweep.Expand()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
 		if err := emitDigests(specs...); err != nil {
-			return "", err
+			return "", nil, err
 		}
 		outs, err := backend.All(ctx, be, specs, workers)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return sweepCSV(specs, outs)
+		var ivls []string
+		for _, out := range outs {
+			if out.Intervals != nil {
+				ivls = append(ivls, out.Intervals.Hash)
+			}
+		}
+		csv, err := sweepCSV(specs, outs)
+		return csv, ivls, err
 
 	case svc.Experiment != nil:
 		e := svc.Experiment
-		return experiments.Render(e.ID, experiments.Config{
+		out, err := experiments.Render(e.ID, experiments.Config{
 			Insts: e.Insts, Warmup: e.Warmup, Seed: e.Seed,
 			Parallelism: workers, Backend: be,
 		})
+		return out, nil, err
 
 	case svc.Bundle != nil:
 		// Bundles run in a later stage than everything they name, so the
@@ -221,13 +244,13 @@ func (f *File) exec(ctx context.Context, svc *Service, be backend.Backend, worke
 		for _, name := range svc.Bundle {
 			out, ok := getOutput(name)
 			if !ok {
-				return "", fmt.Errorf("bundled service %q has no result", name)
+				return "", nil, fmt.Errorf("bundled service %q has no result", name)
 			}
 			parts = append(parts, "## "+name+"\n\n"+strings.TrimRight(out, "\n")+"\n")
 		}
-		return strings.Join(parts, "\n"), nil
+		return strings.Join(parts, "\n"), nil, nil
 	}
-	return "", fmt.Errorf("service has no kind")
+	return "", nil, fmt.Errorf("service has no kind")
 }
 
 // sweepCSV renders a sweep grid as CSV, one row per cell in expansion order.

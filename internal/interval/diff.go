@@ -1,0 +1,114 @@
+package interval
+
+import "fmt"
+
+// MetricDelta is one metric's disagreement inside a divergent window.
+type MetricDelta struct {
+	Name string `json:"name"`
+	A    uint64 `json:"a"`
+	B    uint64 `json:"b"`
+}
+
+// Delta returns the signed difference B-A.
+func (d MetricDelta) Delta() int64 { return int64(d.B) - int64(d.A) }
+
+// Diff is the result of aligning two interval sets window by window.
+type Diff struct {
+	// FirstWindow is the index of the first divergent window, -1 when the
+	// overlapping windows all agree.
+	FirstWindow int `json:"first_window"`
+	// FirstCycle and FirstInst are the divergent window's start bounds in
+	// run A — the replay range a cycle-level bisection starts from.
+	FirstCycle uint64 `json:"first_cycle,omitempty"`
+	FirstInst  uint64 `json:"first_inst,omitempty"`
+	// Deltas are the disagreeing metrics of the first divergent window.
+	Deltas []MetricDelta `json:"deltas,omitempty"`
+	// Diverged counts divergent windows across the overlap.
+	Diverged int `json:"diverged"`
+	// LenA and LenB are the two sets' window counts; a length mismatch is
+	// itself a divergence even when the overlap agrees.
+	LenA int `json:"len_a"`
+	LenB int `json:"len_b"`
+}
+
+// Same reports that the two sets agreed everywhere, including length.
+func (d *Diff) Same() bool { return d.FirstWindow < 0 && d.LenA == d.LenB }
+
+// Compare aligns two interval sets by window index and reports where they
+// first diverge.  The sets must have been sampled at the same interval.
+func Compare(a, b *Set) (*Diff, error) {
+	if a.IntervalInsts != b.IntervalInsts {
+		return nil, fmt.Errorf("interval: incomparable sets: sampled every %d vs %d instructions",
+			a.IntervalInsts, b.IntervalInsts)
+	}
+	if len(a.Windows) > 0 && len(b.Windows) > 0 && a.Windows[0].Index != b.Windows[0].Index {
+		return nil, fmt.Errorf("interval: incomparable sets: first windows are %d vs %d (different drop horizons)",
+			a.Windows[0].Index, b.Windows[0].Index)
+	}
+	d := &Diff{FirstWindow: -1, LenA: len(a.Windows), LenB: len(b.Windows)}
+	n := len(a.Windows)
+	if len(b.Windows) < n {
+		n = len(b.Windows)
+	}
+	for i := 0; i < n; i++ {
+		deltas := windowDeltas(&a.Windows[i], &b.Windows[i])
+		if len(deltas) == 0 {
+			continue
+		}
+		d.Diverged++
+		if d.FirstWindow < 0 {
+			d.FirstWindow = a.Windows[i].Index
+			d.FirstCycle = a.Windows[i].StartCycle
+			d.FirstInst = a.Windows[i].StartInst
+			d.Deltas = deltas
+		}
+	}
+	return d, nil
+}
+
+// windowDeltas lists every metric on which two same-index windows disagree,
+// in a fixed order.
+func windowDeltas(a, b *Window) []MetricDelta {
+	var out []MetricDelta
+	add := func(name string, va, vb uint64) {
+		if va != vb {
+			out = append(out, MetricDelta{Name: name, A: va, B: vb})
+		}
+	}
+	add("end_cycle", a.EndCycle, b.EndCycle)
+	add("end_inst", a.EndInst, b.EndInst)
+	add("branches", a.Branches, b.Branches)
+	add("mispredicts", a.Mispredicts, b.Mispredicts)
+	add("dir_mispredicts", a.DirMispredicts, b.DirMispredicts)
+	add("tgt_mispredicts", a.TgtMispredicts, b.TgtMispredicts)
+	add("btb_misses", a.BTBMisses, b.BTBMisses)
+	add("ras_events", a.RASEvents, b.RASEvents)
+	add("fetch_bubbles", a.FetchBubbles, b.FetchBubbles)
+	add("redirects", a.Redirects, b.Redirects)
+	add("history_repairs", a.HistoryRepairs, b.HistoryRepairs)
+	add("fetch_replays", a.FetchReplays, b.FetchReplays)
+	add("overrides", a.Overrides, b.Overrides)
+	add("squashes", a.Squashes, b.Squashes)
+	add("h2p_mispredicts", a.H2PMispredicts, b.H2PMispredicts)
+	// Providers are sorted by name in both windows; merge-walk them.
+	i, j := 0, 0
+	for i < len(a.Providers) || j < len(b.Providers) {
+		switch {
+		case j == len(b.Providers) || (i < len(a.Providers) && a.Providers[i].Name < b.Providers[j].Name):
+			p := a.Providers[i]
+			add("provider:"+p.Name+":branches", p.Branches, 0)
+			add("provider:"+p.Name+":mispredicts", p.Mispredicts, 0)
+			i++
+		case i == len(a.Providers) || a.Providers[i].Name > b.Providers[j].Name:
+			p := b.Providers[j]
+			add("provider:"+p.Name+":branches", 0, p.Branches)
+			add("provider:"+p.Name+":mispredicts", 0, p.Mispredicts)
+			j++
+		default:
+			add("provider:"+a.Providers[i].Name+":branches", a.Providers[i].Branches, b.Providers[j].Branches)
+			add("provider:"+a.Providers[i].Name+":mispredicts", a.Providers[i].Mispredicts, b.Providers[j].Mispredicts)
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}

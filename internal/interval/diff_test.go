@@ -1,0 +1,110 @@
+package interval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCompareSame(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSet(rng, 8)
+	rng = rand.New(rand.NewSource(3))
+	b := randomSet(rng, 8)
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Same() || d.FirstWindow != -1 || d.Diverged != 0 {
+		t.Fatalf("identical sets diverged: %+v", d)
+	}
+}
+
+func TestCompareFindsFirstDivergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSet(rng, 10)
+	rng = rand.New(rand.NewSource(5))
+	b := randomSet(rng, 10)
+	b.Windows[4].Mispredicts += 7
+	b.Windows[6].Squashes += 1
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Same() {
+		t.Fatal("divergence missed")
+	}
+	if d.FirstWindow != a.Windows[4].Index {
+		t.Fatalf("FirstWindow = %d, want %d", d.FirstWindow, a.Windows[4].Index)
+	}
+	if d.FirstCycle != a.Windows[4].StartCycle || d.FirstInst != a.Windows[4].StartInst {
+		t.Fatalf("divergence bounds (%d,%d) not the window start (%d,%d)",
+			d.FirstCycle, d.FirstInst, a.Windows[4].StartCycle, a.Windows[4].StartInst)
+	}
+	if d.Diverged != 2 {
+		t.Fatalf("Diverged = %d, want 2", d.Diverged)
+	}
+	if len(d.Deltas) != 1 || d.Deltas[0].Name != "mispredicts" || d.Deltas[0].Delta() != 7 {
+		t.Fatalf("Deltas = %+v, want one mispredicts delta of +7", d.Deltas)
+	}
+}
+
+func TestCompareProviderDeltas(t *testing.T) {
+	mk := func() *Set {
+		return &Set{IntervalInsts: 100, Windows: []Window{{
+			Index: 0, EndCycle: 10, EndInst: 100,
+			Providers: []ProviderStat{{Name: "BIM2", Branches: 5}, {Name: "TAGE3", Branches: 9}},
+		}}}
+	}
+	a, b := mk(), mk()
+	b.Windows[0].Providers = []ProviderStat{{Name: "TAGE3", Branches: 11}}
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"provider:BIM2:branches":  -5, // only in a
+		"provider:TAGE3:branches": 2,
+	}
+	if len(d.Deltas) != len(want) {
+		t.Fatalf("Deltas = %+v", d.Deltas)
+	}
+	for _, m := range d.Deltas {
+		if want[m.Name] != m.Delta() {
+			t.Fatalf("delta %s = %d, want %d", m.Name, m.Delta(), want[m.Name])
+		}
+	}
+}
+
+func TestCompareLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSet(rng, 6)
+	b := &Set{IntervalInsts: a.IntervalInsts, Dropped: a.Dropped,
+		Windows: append([]Window(nil), a.Windows[:4]...)}
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Same() {
+		t.Fatal("length mismatch not a divergence")
+	}
+	if d.FirstWindow != -1 || d.Diverged != 0 {
+		t.Fatalf("common prefix flagged: %+v", d)
+	}
+	if d.LenA != 6 || d.LenB != 4 {
+		t.Fatalf("lengths %d/%d", d.LenA, d.LenB)
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	a := &Set{IntervalInsts: 100}
+	b := &Set{IntervalInsts: 200}
+	if _, err := Compare(a, b); err == nil || !strings.Contains(err.Error(), "incomparable") {
+		t.Fatalf("err = %v, want incomparable-sets error", err)
+	}
+	a = &Set{IntervalInsts: 100, Windows: []Window{{Index: 0}}}
+	b = &Set{IntervalInsts: 100, Windows: []Window{{Index: 3}}}
+	if _, err := Compare(a, b); err == nil || !strings.Contains(err.Error(), "drop horizons") {
+		t.Fatalf("err = %v, want drop-horizon error", err)
+	}
+}

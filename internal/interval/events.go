@@ -1,0 +1,93 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"cobra/internal/obs"
+)
+
+// FromEvents buckets an already-captured event trace into fixed cycle
+// windows, so existing .evt files gain windowed statistics without
+// re-running the simulation.  Windows are cycle-buckets (IntervalInsts is 0:
+// an event trace carries no commit counts), indexed by bucket number from
+// the first populated bucket; instruction bounds stay zero-width.
+//
+// Kind mapping: per-component predict events count toward that provider's
+// Branches and mispredict events toward both the window's and the
+// provider's Mispredicts; squash, redirect, and repair events land in their
+// namesake counters.
+func FromEvents(events []obs.Event, everyCycles uint64) (*Set, error) {
+	if everyCycles == 0 {
+		return nil, fmt.Errorf("interval: window size must be positive")
+	}
+	s := &Set{}
+	if len(events) == 0 {
+		s.Hash = s.ContentHash()
+		return s, nil
+	}
+	lo, hi := events[0].Cycle, events[0].Cycle
+	for _, ev := range events {
+		if ev.Cycle < lo {
+			lo = ev.Cycle
+		}
+		if ev.Cycle > hi {
+			hi = ev.Cycle
+		}
+	}
+	first, last := lo/everyCycles, hi/everyCycles
+	n := last - first + 1
+	if n > 1<<20 {
+		return nil, fmt.Errorf("interval: %d cycles at window %d would make %d windows; use a larger -by-window",
+			hi-lo, everyCycles, n)
+	}
+	s.Windows = make([]Window, n)
+	provs := make([]map[string]*ProviderStat, n)
+	for i := range s.Windows {
+		b := first + uint64(i)
+		s.Windows[i] = Window{
+			Index:      int(b),
+			StartCycle: b * everyCycles, EndCycle: (b + 1) * everyCycles,
+			StartInst: 0, EndInst: 0,
+		}
+		provs[i] = map[string]*ProviderStat{}
+	}
+	for _, ev := range events {
+		i := ev.Cycle/everyCycles - first
+		w := &s.Windows[i]
+		prov := func() *ProviderStat {
+			p := provs[i][ev.Comp]
+			if p == nil {
+				p = &ProviderStat{Name: ev.Comp}
+				provs[i][ev.Comp] = p
+			}
+			return p
+		}
+		switch ev.Kind {
+		case obs.KPredict:
+			if ev.Comp != "" {
+				prov().Branches++
+			}
+		case obs.KMispredict:
+			w.Mispredicts++
+			if ev.Comp != "" {
+				prov().Mispredicts++
+			}
+		case obs.KSquash:
+			w.Squashes++
+		case obs.KRedirect:
+			w.Redirects++
+		case obs.KRepair:
+			w.HistoryRepairs++
+		}
+	}
+	for i := range s.Windows {
+		w := &s.Windows[i]
+		for _, p := range provs[i] {
+			w.Providers = append(w.Providers, *p)
+		}
+		sort.Slice(w.Providers, func(a, b int) bool { return w.Providers[a].Name < w.Providers[b].Name })
+	}
+	s.Hash = s.ContentHash()
+	return s, nil
+}

@@ -1,0 +1,78 @@
+package interval
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/obs"
+)
+
+func TestFromEventsBucketsAndKinds(t *testing.T) {
+	evs := []obs.Event{
+		// First populated bucket is 2 (cycles 200..299): indexing must start
+		// there, not at zero.
+		{Cycle: 210, Kind: obs.KPredict, Comp: "TAGE3"},
+		{Cycle: 220, Kind: obs.KPredict, Comp: "BIM2"},
+		{Cycle: 230, Kind: obs.KMispredict, Comp: "TAGE3"},
+		{Cycle: 240, Kind: obs.KSquash},
+		{Cycle: 250, Kind: obs.KRedirect},
+		// Bucket 3 exercises a different mix and the frontend ("" Comp) case.
+		{Cycle: 310, Kind: obs.KRepair, Comp: "LOOP3"},
+		{Cycle: 320, Kind: obs.KMispredict}, // frontend: window counter only
+	}
+	set, err := FromEvents(evs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Windows) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(set.Windows))
+	}
+	if set.IntervalInsts != 0 {
+		t.Fatalf("cycle-bucketed set claims commit-based windows: %d", set.IntervalInsts)
+	}
+	w0, w1 := set.Windows[0], set.Windows[1]
+	if w0.Index != 2 || w0.StartCycle != 200 || w0.EndCycle != 300 {
+		t.Fatalf("first bucket = %+v, want index 2 spanning 200..300", w0)
+	}
+	if w0.Mispredicts != 1 || w0.Squashes != 1 || w0.Redirects != 1 || w0.HistoryRepairs != 0 {
+		t.Fatalf("bucket 2 counters wrong: %+v", w0)
+	}
+	if len(w0.Providers) != 2 || w0.Providers[0].Name != "BIM2" || w0.Providers[1].Name != "TAGE3" {
+		t.Fatalf("bucket 2 providers not sorted: %+v", w0.Providers)
+	}
+	if w0.Providers[1].Branches != 1 || w0.Providers[1].Mispredicts != 1 {
+		t.Fatalf("TAGE3 stats = %+v", w0.Providers[1])
+	}
+	if w1.HistoryRepairs != 1 || w1.Mispredicts != 1 {
+		t.Fatalf("bucket 3 counters wrong: %+v", w1)
+	}
+	// The frontend mispredict must not fabricate a provider.
+	for _, p := range w1.Providers {
+		if p.Name == "" {
+			t.Fatalf("empty provider name recorded: %+v", w1.Providers)
+		}
+	}
+	if set.Hash == "" || set.Hash != set.ContentHash() {
+		t.Fatalf("hash %q not the content hash", set.Hash)
+	}
+}
+
+func TestFromEventsRejectsBadWindowing(t *testing.T) {
+	if _, err := FromEvents(nil, 0); err == nil {
+		t.Fatal("zero window size accepted")
+	}
+	evs := []obs.Event{{Cycle: 0}, {Cycle: 1 << 40}}
+	if _, err := FromEvents(evs, 1); err == nil || !strings.Contains(err.Error(), "windows") {
+		t.Fatalf("err = %v, want too-many-windows error", err)
+	}
+}
+
+func TestFromEventsEmpty(t *testing.T) {
+	set, err := FromEvents(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Windows) != 0 || set.Hash == "" {
+		t.Fatalf("empty trace set = %+v", set)
+	}
+}

@@ -1,0 +1,258 @@
+package interval
+
+import (
+	"sort"
+	"sync"
+
+	"cobra/internal/stats"
+)
+
+// ringCap bounds the preallocated window ring.  At the default 100k-inst
+// window it covers a 409.6M-instruction measured region before the oldest
+// windows start dropping — far past every paper budget — while keeping the
+// recorder's footprint fixed.
+const ringCap = 4096
+
+// snap is the counter snapshot a window's deltas are taken against: the
+// cumulative stats fields at the previous window boundary, plus the three
+// pipeline counters the core passes alongside (they live outside stats.Sim
+// and never reset at warmup).
+type snap struct {
+	branches, mispredicts, dirMisp, tgtMisp uint64
+	btbMisses, rasEvents, fetchBubbles      uint64
+	redirects, fetchReplays                 uint64
+	overrides, squashes, repairs            uint64
+}
+
+// Recorder samples windowed counter deltas from a running core.  It is a
+// single-writer structure: the simulation goroutine calls Tick, Mispredict,
+// Rebase, and Finish; concurrent readers (the SSE progress feed) use Latest
+// and Set, which lock only against window closes — never against the
+// fast path, which is a single comparison.
+//
+// Steady state allocates nothing: windows close into a preallocated ring
+// whose per-slot Providers slices are reused, the provider name table stops
+// growing once every sub-component has predicted, and the H2P map stops
+// growing once the program's branch PCs have all mispredicted at least once.
+type Recorder struct {
+	every uint64 // window size in committed instructions
+
+	mu      sync.Mutex // guards ring/start/count/dropped (close vs. Latest/Set)
+	ring    []Window
+	start   int // ring index of the oldest window
+	count   int
+	dropped uint64
+
+	nextIndex    int    // global index of the next window to close
+	nextBoundary uint64 // instruction count that closes the current window
+	cycleBase    uint64 // absolute cycle at measurement start
+	curStartCyc  uint64 // relative cycle the open window started at
+	curStartInst uint64
+	prev         snap
+
+	// Provider attribution: names insertion-sorted on first appearance with
+	// parallel previous-cumulative arrays, so window emission order is the
+	// sorted order and map-iteration nondeterminism never reaches the output.
+	provNames []string
+	prevHits  []uint64
+	prevMiss  []uint64
+
+	// H2P tracking: cumulative per-PC mispredict counts (persists across
+	// Rebase so the set warms during the warmup slice), and the open
+	// window's in-set mispredict count.
+	h2p       map[uint64]uint32
+	windowH2P uint64
+}
+
+// NewRecorder returns a recorder closing one window every `every` committed
+// instructions (0 means DefaultInsts).
+func NewRecorder(every uint64) *Recorder {
+	if every == 0 {
+		every = DefaultInsts
+	}
+	return &Recorder{
+		every:        every,
+		ring:         make([]Window, ringCap),
+		nextBoundary: every,
+		h2p:          make(map[uint64]uint32, 1024),
+	}
+}
+
+// IntervalInsts returns the configured window size.
+func (r *Recorder) IntervalInsts() uint64 { return r.every }
+
+// Mispredict records one committed-branch mispredict at pc for H2P-set
+// tracking.  Called from the core's commit stage; lock-free because only the
+// simulation goroutine touches the map and the open-window counter.
+func (r *Recorder) Mispredict(pc uint64) {
+	n := r.h2p[pc] + 1
+	r.h2p[pc] = n
+	if n >= H2PThreshold {
+		r.windowH2P++
+	}
+}
+
+// Tick is the sampling hook, called from the core's periodic telemetry
+// flush.  The fast path — current window still open — is one comparison.
+func (r *Recorder) Tick(cycle uint64, s *stats.Sim, overrides, squashes, repairs uint64) {
+	if s.Instructions < r.nextBoundary {
+		return
+	}
+	r.close(cycle, s, overrides, squashes, repairs)
+	r.nextBoundary = (s.Instructions/r.every + 1) * r.every
+}
+
+// close seals the open window at the current counter values.  Window ends
+// are quantized to the caller's flush cadence: the window closes at the
+// first tick at-or-past the instruction boundary, and the next one opens
+// exactly where it ended, so windows tile the measured region.
+func (r *Recorder) close(cycle uint64, s *stats.Sim, overrides, squashes, repairs uint64) {
+	r.syncProviders(s)
+	now := snap{
+		branches: s.Branches, mispredicts: s.Mispredicts,
+		dirMisp: s.DirMispredicts, tgtMisp: s.TgtMispredicts,
+		btbMisses: s.BTBMisses, rasEvents: s.RASEvents,
+		fetchBubbles: s.FetchBubbles, redirects: s.RedirectFlushes,
+		fetchReplays: s.FetchReplays,
+		overrides:    overrides, squashes: squashes, repairs: repairs,
+	}
+
+	r.mu.Lock()
+	var w *Window
+	if r.count == len(r.ring) {
+		w = &r.ring[r.start]
+		r.start = (r.start + 1) % len(r.ring)
+		r.dropped++
+	} else {
+		w = &r.ring[(r.start+r.count)%len(r.ring)]
+		r.count++
+	}
+	prov := w.Providers[:0] // reuse the slot's backing array
+	*w = Window{
+		Index:      r.nextIndex,
+		StartCycle: r.curStartCyc, EndCycle: cycle - r.cycleBase,
+		StartInst: r.curStartInst, EndInst: s.Instructions,
+
+		Branches:       now.branches - r.prev.branches,
+		Mispredicts:    now.mispredicts - r.prev.mispredicts,
+		DirMispredicts: now.dirMisp - r.prev.dirMisp,
+		TgtMispredicts: now.tgtMisp - r.prev.tgtMisp,
+		BTBMisses:      now.btbMisses - r.prev.btbMisses,
+		RASEvents:      now.rasEvents - r.prev.rasEvents,
+		FetchBubbles:   now.fetchBubbles - r.prev.fetchBubbles,
+		Redirects:      now.redirects - r.prev.redirects,
+		HistoryRepairs: now.repairs - r.prev.repairs,
+		FetchReplays:   now.fetchReplays - r.prev.fetchReplays,
+		Overrides:      now.overrides - r.prev.overrides,
+		Squashes:       now.squashes - r.prev.squashes,
+		H2PMispredicts: r.windowH2P,
+	}
+	for i, name := range r.provNames {
+		hits, miss := s.ProviderHits[name], s.ProviderMisses[name]
+		if dh, dm := hits-r.prevHits[i], miss-r.prevMiss[i]; dh|dm != 0 {
+			prov = append(prov, ProviderStat{Name: name, Branches: dh, Mispredicts: dm})
+		}
+		r.prevHits[i], r.prevMiss[i] = hits, miss
+	}
+	w.Providers = prov
+	r.mu.Unlock()
+
+	r.nextIndex++
+	r.curStartCyc = w.EndCycle
+	r.curStartInst = s.Instructions
+	r.prev = now
+	r.windowH2P = 0
+}
+
+// syncProviders inserts any provider names seen since the last close into
+// the sorted name table (with zeroed previous-cumulative slots).  The table
+// stabilizes after every sub-component has predicted once, so steady state
+// does not allocate here.
+func (r *Recorder) syncProviders(s *stats.Sim) {
+	if len(s.ProviderHits) == len(r.provNames) {
+		return
+	}
+	for name := range s.ProviderHits {
+		i := sort.SearchStrings(r.provNames, name)
+		if i < len(r.provNames) && r.provNames[i] == name {
+			continue
+		}
+		r.provNames = append(r.provNames, "")
+		copy(r.provNames[i+1:], r.provNames[i:])
+		r.provNames[i] = name
+		r.prevHits = append(r.prevHits, 0)
+		copy(r.prevHits[i+1:], r.prevHits[i:])
+		r.prevHits[i] = 0
+		r.prevMiss = append(r.prevMiss, 0)
+		copy(r.prevMiss[i+1:], r.prevMiss[i:])
+		r.prevMiss[i] = 0
+	}
+}
+
+// Rebase discards everything recorded so far and restarts window numbering
+// at the current cycle — the interval-level analogue of Core.ResetStats, so
+// the warmup slice produces no windows and measured windows start at
+// cycle/instruction zero.  The H2P map deliberately survives: the
+// hard-to-predict set warms alongside the predictors.  The three pipeline
+// counters are snapshotted at their current absolute values because, unlike
+// stats.Sim, they do not reset at warmup.
+func (r *Recorder) Rebase(cycle uint64, overrides, squashes, repairs uint64) {
+	r.mu.Lock()
+	r.start, r.count, r.dropped = 0, 0, 0
+	r.mu.Unlock()
+	r.nextIndex = 0
+	r.nextBoundary = r.every
+	r.cycleBase = cycle
+	r.curStartCyc, r.curStartInst = 0, 0
+	r.prev = snap{overrides: overrides, squashes: squashes, repairs: repairs}
+	for i := range r.prevHits {
+		r.prevHits[i], r.prevMiss[i] = 0, 0
+	}
+	r.windowH2P = 0
+}
+
+// Reset returns the recorder to its just-constructed state: unlike Rebase,
+// the H2P map is cleared too.  Exec resets an attached recorder before
+// wiring it to a fresh core, so a retried attempt records exactly what a
+// first attempt would.
+func (r *Recorder) Reset() {
+	r.Rebase(0, 0, 0, 0)
+	clear(r.h2p)
+}
+
+// Finish closes the trailing partial window, if any instructions committed
+// into it.  Called once, after the run loop exits.
+func (r *Recorder) Finish(cycle uint64, s *stats.Sim, overrides, squashes, repairs uint64) {
+	if s.Instructions > r.curStartInst {
+		r.close(cycle, s, overrides, squashes, repairs)
+	}
+}
+
+// Latest returns a copy of the most recently closed window (ok=false before
+// the first close).  Safe to call concurrently with the simulation; the
+// Providers slice is deep-copied so the caller never aliases ring storage.
+func (r *Recorder) Latest() (Window, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return Window{}, false
+	}
+	w := r.ring[(r.start+r.count-1)%len(r.ring)]
+	w.Providers = append([]ProviderStat(nil), w.Providers...)
+	return w, true
+}
+
+// Set snapshots the recorded windows as a self-contained Set with its
+// content hash computed.
+func (r *Recorder) Set() *Set {
+	r.mu.Lock()
+	s := &Set{IntervalInsts: r.every, Dropped: r.dropped, Windows: make([]Window, r.count)}
+	for i := 0; i < r.count; i++ {
+		w := r.ring[(r.start+i)%len(r.ring)]
+		w.Providers = append([]ProviderStat(nil), w.Providers...)
+		s.Windows[i] = w
+	}
+	r.mu.Unlock()
+	s.Hash = s.ContentHash()
+	return s
+}

@@ -1,0 +1,204 @@
+package interval
+
+import (
+	"testing"
+
+	"cobra/internal/stats"
+)
+
+// advance moves a synthetic counter state forward by n instructions with a
+// fixed per-instruction counter mix, then ticks the recorder as the core's
+// flush path would.
+type driver struct {
+	r   *Recorder
+	s   stats.Sim
+	cyc uint64
+}
+
+func newDriver(every uint64) *driver {
+	return &driver{r: NewRecorder(every), s: stats.NewSim()}
+}
+
+func (d *driver) advance(insts uint64) {
+	d.cyc += insts * 2
+	d.s.Instructions += insts
+	d.s.Branches += insts / 5
+	d.s.Mispredicts += insts / 100
+	d.s.AddProviderHit("TAGE3")
+	d.s.AddProviderMiss("BIM2")
+	d.r.Tick(d.cyc, &d.s, d.s.Instructions/10, d.s.Instructions/20, 0)
+}
+
+func TestRecorderWindowsTile(t *testing.T) {
+	d := newDriver(1000)
+	// Flush cadence coarser than the window: every close lands past the
+	// boundary, and the next window must start exactly where this one ended.
+	for i := 0; i < 20; i++ {
+		d.advance(333)
+	}
+	d.r.Finish(d.cyc, &d.s, d.s.Instructions/10, d.s.Instructions/20, 0)
+	set := d.r.Set()
+	if len(set.Windows) == 0 {
+		t.Fatal("no windows recorded")
+	}
+	if set.IntervalInsts != 1000 {
+		t.Fatalf("IntervalInsts = %d", set.IntervalInsts)
+	}
+	for i, w := range set.Windows {
+		if w.Index != i {
+			t.Fatalf("window %d has index %d", i, w.Index)
+		}
+		if i > 0 {
+			p := set.Windows[i-1]
+			if w.StartCycle != p.EndCycle || w.StartInst != p.EndInst {
+				t.Fatalf("window %d does not tile: starts (%d,%d), predecessor ends (%d,%d)",
+					i, w.StartCycle, w.StartInst, p.EndCycle, p.EndInst)
+			}
+		}
+		if w.EndInst <= w.StartInst {
+			t.Fatalf("window %d spans no instructions: %+v", i, w)
+		}
+	}
+	last := set.Windows[len(set.Windows)-1]
+	if last.EndInst != d.s.Instructions {
+		t.Fatalf("Finish did not close the trailing partial window: last end %d, committed %d",
+			last.EndInst, d.s.Instructions)
+	}
+	// Window counters are deltas: they must sum back to the cumulative totals.
+	var branches uint64
+	for _, w := range set.Windows {
+		branches += w.Branches
+	}
+	if branches != d.s.Branches {
+		t.Fatalf("window branch deltas sum to %d, cumulative is %d", branches, d.s.Branches)
+	}
+	if set.Hash == "" || set.Hash != set.ContentHash() {
+		t.Fatalf("Set hash %q not the content hash", set.Hash)
+	}
+}
+
+func TestRecorderProvidersSortedAndDeltaed(t *testing.T) {
+	d := newDriver(100)
+	d.advance(100)
+	d.advance(100)
+	set := d.r.Set()
+	if len(set.Windows) < 2 {
+		t.Fatalf("want 2 windows, got %d", len(set.Windows))
+	}
+	for _, w := range set.Windows {
+		for i := 1; i < len(w.Providers); i++ {
+			if w.Providers[i-1].Name >= w.Providers[i].Name {
+				t.Fatalf("providers not strictly sorted: %+v", w.Providers)
+			}
+		}
+	}
+	// Each advance adds one TAGE3 hit and one BIM2 miss; the second window's
+	// deltas must not re-count the first's.
+	w := set.Windows[1]
+	for _, p := range w.Providers {
+		switch p.Name {
+		case "TAGE3":
+			if p.Branches != 1 {
+				t.Fatalf("TAGE3 delta branches = %d, want 1", p.Branches)
+			}
+		case "BIM2":
+			if p.Mispredicts != 1 {
+				t.Fatalf("BIM2 delta mispredicts = %d, want 1", p.Mispredicts)
+			}
+		}
+	}
+}
+
+func TestRecorderH2PThreshold(t *testing.T) {
+	r := NewRecorder(100)
+	s := stats.NewSim()
+	for i := uint32(0); i < H2PThreshold-1; i++ {
+		r.Mispredict(0x40)
+	}
+	if r.windowH2P != 0 {
+		t.Fatalf("pc below threshold counted: %d", r.windowH2P)
+	}
+	r.Mispredict(0x40) // crosses the threshold
+	r.Mispredict(0x40) // and stays in the set
+	if r.windowH2P != 2 {
+		t.Fatalf("windowH2P = %d, want 2", r.windowH2P)
+	}
+	s.Instructions = 100
+	r.Tick(200, &s, 0, 0, 0)
+	set := r.Set()
+	if got := set.Windows[0].H2PMispredicts; got != 2 {
+		t.Fatalf("window H2PMispredicts = %d, want 2", got)
+	}
+	// The per-window counter resets; the per-PC set persists.
+	r.Mispredict(0x40)
+	if r.windowH2P != 1 {
+		t.Fatalf("after close, windowH2P = %d, want 1 (set membership persists)", r.windowH2P)
+	}
+}
+
+func TestRecorderRebaseAndReset(t *testing.T) {
+	d := newDriver(100)
+	for i := uint32(0); i < H2PThreshold; i++ {
+		d.r.Mispredict(0x99)
+	}
+	d.advance(250)
+	if _, ok := d.r.Latest(); !ok {
+		t.Fatal("no window before rebase")
+	}
+	// Rebase (the warmup boundary): windows restart at zero, H2P set survives.
+	d.r.Rebase(d.cyc, d.s.Instructions/10, d.s.Instructions/20, 0)
+	if _, ok := d.r.Latest(); ok {
+		t.Fatal("window survived rebase")
+	}
+	d.r.Mispredict(0x99)
+	if d.r.windowH2P != 1 {
+		t.Fatal("H2P set did not survive rebase")
+	}
+	// Reset (a retried attempt): the H2P set is cleared too.
+	d.r.Reset()
+	d.r.Mispredict(0x99)
+	if d.r.windowH2P != 0 {
+		t.Fatal("H2P set survived reset")
+	}
+}
+
+func TestRecorderRingOverflow(t *testing.T) {
+	r := NewRecorder(10)
+	s := stats.NewSim()
+	const total = ringCap + 50
+	for i := 1; i <= total; i++ {
+		s.Instructions = uint64(i * 10)
+		r.Tick(uint64(i*20), &s, 0, 0, 0)
+	}
+	set := r.Set()
+	if len(set.Windows) != ringCap {
+		t.Fatalf("kept %d windows, ring holds %d", len(set.Windows), ringCap)
+	}
+	if set.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", set.Dropped)
+	}
+	if first := set.Windows[0].Index; first != 50 {
+		t.Fatalf("oldest kept window index = %d, want 50 (oldest dropped first)", first)
+	}
+	// The survivors must still encode: contiguity holds across the drop.
+	if _, err := set.Encode(); err != nil {
+		t.Fatalf("overflowed set does not encode: %v", err)
+	}
+}
+
+func TestRecorderLatestIsACopy(t *testing.T) {
+	d := newDriver(100)
+	d.advance(100)
+	w, ok := d.r.Latest()
+	if !ok {
+		t.Fatal("no window")
+	}
+	if len(w.Providers) == 0 {
+		t.Fatal("expected provider stats")
+	}
+	w.Providers[0].Branches = 0xDEAD
+	again, _ := d.r.Latest()
+	if again.Providers[0].Branches == 0xDEAD {
+		t.Fatal("Latest aliases ring storage")
+	}
+}

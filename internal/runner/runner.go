@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"cobra/internal/compose"
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/program"
 	"cobra/internal/stats"
@@ -168,6 +169,11 @@ type Options struct {
 	// job unwatched).  The serving layer uses this to feed the per-run SSE
 	// progress stream; like spans, sinks never affect results.
 	ProgressFor func(i int) *obs.RunProgress
+	// IntervalsFor, when non-nil, returns the windowed-telemetry recorder
+	// job i samples into (nil = use the spec's own Observe.IntervalInsts
+	// setting).  The serving layer uses this to expose live windows on the
+	// SSE progress stream while the run is still in flight.
+	IntervalsFor func(i int) *interval.Recorder
 }
 
 // JobError identifies which job of a batch failed and why.

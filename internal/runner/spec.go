@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/spec"
 )
@@ -66,8 +67,12 @@ func RunSpecs(specs []*spec.RunSpec, opt Options) ([]SpecResult, error) {
 			if opt.ProgressFor != nil {
 				prog = opt.ProgressFor(i)
 			}
+			var ivl *interval.Recorder
+			if opt.IntervalsFor != nil {
+				ivl = opt.IntervalsFor(i)
+			}
 			begin := time.Now()
-			res, err := safeExec(ctx, specs[i], met, span, prog)
+			res, err := safeExec(ctx, specs[i], met, span, prog, ivl)
 			res.Wall = time.Since(begin)
 			var insts uint64
 			if res.Outcome != nil && res.Outcome.Stats != nil {
@@ -86,7 +91,7 @@ func RunSpecs(specs []*spec.RunSpec, opt Options) ([]SpecResult, error) {
 
 // safeExec is spec.Exec behind the runner's recover boundary: a panicking
 // job becomes a *PanicError instead of killing the process.
-func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.ActiveSpan, prog *obs.RunProgress) (res SpecResult, err error) {
+func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.ActiveSpan, prog *obs.RunProgress, ivl *interval.Recorder) (res SpecResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
@@ -99,7 +104,7 @@ func safeExec(ctx context.Context, s *spec.RunSpec, met *obs.Metrics, span *obs.
 	if err != nil {
 		return SpecResult{}, err
 	}
-	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met, Span: span, Progress: prog})
+	out, err := spec.Exec(c, spec.Attach{Ctx: ctx, Metrics: met, Span: span, Progress: prog, Intervals: ivl})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr // report the cancellation, not its downstream wrapping

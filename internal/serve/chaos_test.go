@@ -367,7 +367,7 @@ func TestChaosCacheCorruption(t *testing.T) {
 
 	// Corrupt both entries on disk: one bit-flip, one truncation.
 	for i, res := range firsts {
-		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r4.json")
+		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r5.json")
 		data, err := os.ReadFile(entry)
 		if err != nil {
 			t.Fatal(err)
@@ -397,7 +397,7 @@ func TestChaosCacheCorruption(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Errorf("recomputed run %d diverges:\nwas: %s\nnow: %s", i, want, got)
 		}
-		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r4.json")
+		entry := filepath.Join(dir, strings.TrimPrefix(res.Digest, "sha256:")+".r5.json")
 		if _, err := os.Stat(entry + ".corrupt"); err != nil {
 			t.Errorf("run %d: no quarantine file: %v", i, err)
 		}

@@ -378,7 +378,7 @@ func TestCacheQuarantine(t *testing.T) {
 	ts1.Close()
 	shutdownServer(t, s1)
 
-	entry := filepath.Join(dir, strings.TrimPrefix(rs.Digest, "sha256:")+".r4.json")
+	entry := filepath.Join(dir, strings.TrimPrefix(rs.Digest, "sha256:")+".r5.json")
 	data, err := os.ReadFile(entry)
 	if err != nil {
 		t.Fatal(err)
@@ -427,7 +427,7 @@ func TestCacheTruncatedEntry(t *testing.T) {
 	ts1.Close()
 	shutdownServer(t, s1)
 
-	entry := filepath.Join(dir, strings.TrimPrefix(rs.Digest, "sha256:")+".r4.json")
+	entry := filepath.Join(dir, strings.TrimPrefix(rs.Digest, "sha256:")+".r5.json")
 	if err := os.Truncate(entry, 10); err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 )
 
@@ -18,11 +19,24 @@ import (
 // simulation nothing measurable.
 
 // progressEvent is one frame of the progress stream: the run's identity and
-// coarse status around the sink snapshot.
+// coarse status around the sink snapshot, plus — when the run records
+// interval telemetry — the most recently closed window, so a live watcher
+// sees time-resolved IPC/MPKI while the simulation is still in flight.
 type progressEvent struct {
 	Digest string `json:"digest"`
 	Status string `json:"status"` // queued, running, done, failed
 	obs.ProgressSnapshot
+	Window *interval.Window `json:"window,omitempty"`
+}
+
+// attachWindow adds the job's latest closed interval window to a frame.
+func attachWindow(ev *progressEvent, j *job) {
+	if j.ivl == nil {
+		return
+	}
+	if w, ok := j.ivl.Latest(); ok {
+		ev.Window = &w
+	}
 }
 
 // queuePos approximates a queued job's position: its admission sequence
@@ -50,6 +64,7 @@ func (s *Server) snapshotRun(id string) (progressEvent, bool) {
 	if inflight {
 		ev := progressEvent{Digest: id, Status: statusOf(j), ProgressSnapshot: j.prog.Snap()}
 		ev.QueuePos = s.queuePos(j)
+		attachWindow(&ev, j)
 		return ev, true
 	}
 	if _, ok := s.results.get(id); ok {
@@ -64,9 +79,13 @@ func (s *Server) snapshotRun(id string) (progressEvent, bool) {
 }
 
 // handleProgress serves GET /v1/runs/{id}/progress.  Clients that accept
-// text/event-stream get Server-Sent Events: one `data:` frame roughly every
-// 200ms (and immediately on terminal state), ending after the final
-// done/failed frame.  Everyone else gets one JSON snapshot — the long-poll
+// text/event-stream get Server-Sent Events roughly every 200ms (and
+// immediately on terminal state), ending after the final frame.  Frames are
+// named: `event: queued` keepalives while the job waits behind the queue
+// (so long-poll clients behind a deep queue never time out idle), `event:
+// progress` while it runs, and a terminal `event: done` (which also carries
+// failed status).  Clients that only parse `data:` lines see the exact
+// pre-naming stream.  Everyone else gets one JSON snapshot — the long-poll
 // fallback; poll it at whatever cadence suits.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -90,12 +109,24 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
 	w.WriteHeader(http.StatusOK)
 
+	// eventName maps a frame to its SSE event type: terminal frames are
+	// "done", frames for a job still waiting in the queue are "queued"
+	// keepalives, everything else is "progress".
+	eventName := func(ev *progressEvent) string {
+		if ev.Done {
+			return "done"
+		}
+		if ev.Status == "queued" {
+			return "queued"
+		}
+		return "progress"
+	}
 	emit := func(ev progressEvent) {
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return
 		}
-		fmt.Fprintf(w, "data: %s\n\n", data)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", eventName(&ev), data)
 		flusher.Flush()
 	}
 	emit(ev)
@@ -126,6 +157,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		case <-tick.C:
 			ev := progressEvent{Digest: id, Status: statusOf(j), ProgressSnapshot: j.prog.Snap()}
 			ev.QueuePos = s.queuePos(j)
+			attachWindow(&ev, j)
 			emit(ev)
 		}
 	}

@@ -121,7 +121,7 @@ func TestProgressStream(t *testing.T) {
 	waitDone(t, ts, rs.Digest)
 }
 
-// TestResultCarriesResources: result_version is 4 and the stored result
+// TestResultCarriesResources: result_version is 5 and the stored result
 // includes the per-run resource-attribution record.
 func TestResultCarriesResources(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
@@ -131,8 +131,8 @@ func TestResultCarriesResources(t *testing.T) {
 	if err := json.Unmarshal(done.Result, &res); err != nil {
 		t.Fatal(err)
 	}
-	if res.ResultVersion != 4 {
-		t.Fatalf("result_version = %d, want 4", res.ResultVersion)
+	if res.ResultVersion != 5 {
+		t.Fatalf("result_version = %d, want 5", res.ResultVersion)
 	}
 	if res.Resources == nil {
 		t.Fatal("result carries no resource attribution")
@@ -258,20 +258,123 @@ func TestDiskCacheV3AgesOut(t *testing.T) {
 	_, ts2 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
 	code, rs2 := postSpec(t, ts2, sp)
 	if code != http.StatusAccepted || rs2.Cached {
-		t.Fatalf("v3 entry served under v4: HTTP %d %+v", code, rs2)
+		t.Fatalf("v3 entry served under v5: HTTP %d %+v", code, rs2)
 	}
 	done := waitDone(t, ts2, rs2.Digest)
 	var res Result
 	if err := json.Unmarshal(done.Result, &res); err != nil {
 		t.Fatal(err)
 	}
-	if res.ResultVersion != 4 {
-		t.Fatalf("recomputed result_version = %d, want 4", res.ResultVersion)
+	if res.ResultVersion != 5 {
+		t.Fatalf("recomputed result_version = %d, want 5", res.ResultVersion)
 	}
-	if _, err := os.Stat(filepath.Join(dir, key+".r4.json")); err != nil {
-		t.Errorf("fresh v4 entry not written: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, key+".r5.json")); err != nil {
+		t.Errorf("fresh v5 entry not written: %v", err)
 	}
 	if _, err := os.Stat(stale); err != nil {
 		t.Errorf("stale v3 entry was clobbered: %v", err)
 	}
+}
+
+// TestProgressStreamQueuedKeepalive: a run parked behind a busy worker emits
+// named `event: queued` keepalive frames until it is scheduled, then
+// `event: progress` frames, and finally `event: done` — and once sampling is
+// on, at least one running frame carries the latest closed interval window.
+func TestProgressStreamQueuedKeepalive(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Occupy the single worker so the watched run sits in the queue long
+	// enough for a keepalive tick (queued frames are emitted on the same
+	// ~200ms cadence as progress frames).
+	postSpec(t, ts, slowSpec(71))
+	watched := slowSpec(72)
+	watched.Observe.IntervalInsts = 50_000
+	_, rs := postSpec(t, ts, watched)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/runs/"+rs.Digest+"/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type frame struct {
+		name string
+		ev   progressEvent
+	}
+	var (
+		frames []frame
+		name   string
+		sc     = bufio.NewScanner(resp.Body)
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev progressEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+			frames = append(frames, frame{name, ev})
+		}
+		if len(frames) > 0 && frames[len(frames)-1].ev.Done {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("stream produced no frames")
+	}
+
+	// Every frame must carry a name consistent with its payload, the first
+	// must be a queued keepalive (the worker is busy), and no queued frame
+	// may follow a progress frame.
+	if frames[0].name != "queued" || frames[0].ev.Status != "queued" {
+		t.Fatalf("first frame = %q %+v, want a queued keepalive", frames[0].name, frames[0].ev)
+	}
+	sawProgress, sawWindow := false, false
+	for i, f := range frames {
+		switch {
+		case f.ev.Done:
+			if f.name != "done" {
+				t.Fatalf("terminal frame named %q", f.name)
+			}
+		case f.ev.Status == "queued":
+			if f.name != "queued" {
+				t.Fatalf("frame %d: queued status named %q", i, f.name)
+			}
+			if sawProgress {
+				t.Fatalf("frame %d: queued keepalive after the run started", i)
+			}
+		default:
+			if f.name != "progress" {
+				t.Fatalf("frame %d: running status named %q", i, f.name)
+			}
+			sawProgress = true
+			if f.ev.Window != nil {
+				sawWindow = true
+				if f.ev.Window.EndInst == 0 {
+					t.Fatalf("frame %d: live window is empty: %+v", i, f.ev.Window)
+				}
+			}
+		}
+	}
+	last := frames[len(frames)-1]
+	if !last.ev.Done || last.name != "done" {
+		t.Fatalf("stream did not end on event: done (%q %+v)", last.name, last.ev)
+	}
+	if !sawProgress {
+		t.Error("no progress frames after the queued keepalives")
+	}
+	if !sawWindow {
+		t.Error("no running frame carried a live interval window despite sampling being on")
+	}
+	waitDone(t, ts, rs.Digest)
 }

@@ -21,6 +21,9 @@
 //	                          503 draining
 //	GET  /v1/runs/{id}        status/result by digest
 //	GET  /v1/runs/{id}/events captured event trace of a finished run
+//	GET  /v1/runs/{id}/intervals
+//	                          windowed interval telemetry of a finished run
+//	                          (JSON, or CBRAIVL1 binary with ?format=binary)
 //	GET  /v1/runs/{id}/trace  request trace (Chrome trace_event JSON)
 //	GET  /healthz             liveness (always 200 while the process serves)
 //	GET  /healthz/ready       readiness (503 while draining)
@@ -36,10 +39,12 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/runner"
 	"cobra/internal/spec"
@@ -52,8 +57,9 @@ import (
 // an older server become deliberate misses instead of deserialization
 // surprises.  v2 added result_version, trace_id, and the timings breakdown;
 // v3 added the retries count and the integrity footer on disk entries; v4
-// added the per-run resource-attribution record.
-const resultVersion = 4
+// added the per-run resource-attribution record; v5 added the windowed
+// interval-telemetry summary.
+const resultVersion = 5
 
 // Config shapes a Server.  Zero values select the documented defaults.
 type Config struct {
@@ -104,6 +110,9 @@ type Result struct {
 	Stats       *stats.Sim  `json:"stats"`
 	Events      []obs.Event `json:"events,omitempty"`
 	EventsTotal uint64      `json:"events_total,omitempty"`
+	// Intervals is the windowed-telemetry summary when the spec asked for it
+	// (observe.interval_insts > 0), served by GET /v1/runs/{id}/intervals.
+	Intervals *interval.Set `json:"intervals,omitempty"`
 	// Timings breaks the original computation down by hop and phase; like
 	// WallMS it replays from cache unchanged.
 	Timings *Timings `json:"timings,omitempty"`
@@ -128,8 +137,19 @@ type job struct {
 	enqueue  time.Time        // when the job entered the queue
 	admitSeq uint64           // admission order, for approximate queue position
 	started  atomic.Bool
-	prog     *obs.RunProgress // live-progress sink behind /v1/runs/{id}/progress
+	prog     *obs.RunProgress   // live-progress sink behind /v1/runs/{id}/progress
+	ivl      *interval.Recorder // live window recorder (nil unless the spec asks)
 	done     chan struct{}
+}
+
+// recorderFor allocates the job's live interval recorder when the spec asks
+// for windowed telemetry, so the SSE progress stream can watch windows close
+// while the run is still in flight.
+func recorderFor(sp *spec.RunSpec) *interval.Recorder {
+	if sp.Observe.IntervalInsts == 0 {
+		return nil
+	}
+	return interval.NewRecorder(sp.Observe.IntervalInsts)
 }
 
 // Server is the daemon state: worker pool, bounded queue, in-flight dedup
@@ -265,7 +285,8 @@ func (s *Server) replayPending() {
 			continue
 		}
 		j := &job{spec: p.spec, digest: p.digest, tc: obs.NewTraceContext(),
-			submit: time.Now(), prog: obs.NewRunProgress(), done: make(chan struct{})}
+			submit: time.Now(), prog: obs.NewRunProgress(),
+			ivl: recorderFor(p.spec), done: make(chan struct{})}
 		for {
 			s.mu.Lock()
 			if s.draining {
@@ -433,8 +454,9 @@ func (s *Server) execAttempt(j *job, rec *obs.SpanRecorder, pickup time.Time, qu
 	meter := obs.StartResourceMeter(0)
 	res, err := runner.RunSpecs([]*spec.RunSpec{j.spec}, runner.Options{
 		Workers: 1, Policy: runner.FailFast, Timeout: s.cfg.JobTimeout, Metrics: s.met,
-		SpanFor:     func(int) *obs.ActiveSpan { return wspan },
-		ProgressFor: func(int) *obs.RunProgress { return j.prog },
+		SpanFor:      func(int) *obs.ActiveSpan { return wspan },
+		ProgressFor:  func(int) *obs.RunProgress { return j.prog },
+		IntervalsFor: func(int) *interval.Recorder { return j.ivl },
 	})
 	resources := meter.Stop()
 	resources.QueueWaitMS = float64(queueWait.Microseconds()) / 1000
@@ -456,6 +478,7 @@ func (s *Server) execAttempt(j *job, rec *obs.SpanRecorder, pickup time.Time, qu
 		Stats:         out.Stats,
 		Events:        out.Events,
 		EventsTotal:   out.EventsTotal,
+		Intervals:     out.Intervals,
 		Timings:       &tmg,
 		Retries:       attempt,
 		Resources:     &resources,
@@ -492,6 +515,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/intervals", s.handleIntervals)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -601,7 +625,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &job{spec: sp, digest: digest, tc: tc, submit: reqStart,
-		prog: obs.NewRunProgress(), done: make(chan struct{})}
+		prog: obs.NewRunProgress(), ivl: recorderFor(sp), done: make(chan struct{})}
 	j.enqueue = time.Now()
 	select {
 	case s.queue <- j:
@@ -692,6 +716,46 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"digest": id, "events_total": res.EventsTotal, "events": res.Events,
+	})
+}
+
+// handleIntervals serves a finished run's windowed interval telemetry: JSON
+// by default, or the CBRAIVL1 binary encoding with ?format=binary (or an
+// application/octet-stream Accept header) — the same bytes the set's
+// content hash covers, so a client can verify the hash end to end.
+func (s *Server) handleIntervals(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validDigest(id) {
+		writeError(w, http.StatusBadRequest, "malformed digest %q", id)
+		return
+	}
+	raw, ok := s.results.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no finished run %s", id)
+		return
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		writeError(w, http.StatusInternalServerError, "corrupt result: %v", err)
+		return
+	}
+	if res.Intervals == nil {
+		writeError(w, http.StatusNotFound, "run %s did not record intervals (set observe.interval_insts)", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "binary" ||
+		strings.Contains(r.Header.Get("Accept"), "application/octet-stream") {
+		data, err := res.Intervals.Encode()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding intervals: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data) //nolint:errcheck
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"digest": id, "intervals": res.Intervals,
 	})
 }
 

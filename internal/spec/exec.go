@@ -9,6 +9,7 @@ import (
 
 	"cobra/internal/compose"
 	"cobra/internal/faults"
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/stats"
@@ -51,6 +52,11 @@ type Attach struct {
 	// stack's GET /v1/runs/{id}/progress stream.  Exec publishes the phase at
 	// each boundary; the core publishes totals on its periodic flush.
 	Progress *obs.RunProgress
+	// Intervals, when non-nil, is the caller's windowed-telemetry recorder
+	// (so live readers like the SSE progress feed can watch windows close);
+	// otherwise Observe.IntervalInsts makes Exec allocate one and return its
+	// snapshot in the Outcome.
+	Intervals *interval.Recorder
 }
 
 // Timings is the wall-clock phase breakdown of one Exec call, in
@@ -78,6 +84,9 @@ type Outcome struct {
 	// Profile is the per-PC attribution profile: the caller's, or a fresh
 	// one when Observe.Attribution asked for it.
 	Profile *obs.BranchProfile
+	// Intervals is the windowed-telemetry snapshot when the spec asked for
+	// one (Observe.IntervalInsts > 0) or the caller attached a recorder.
+	Intervals *interval.Set
 	// Timings is the wall-clock phase breakdown of this execution.
 	Timings Timings
 }
@@ -218,6 +227,15 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	if at.Progress != nil {
 		core.SetProgress(at.Progress)
 	}
+	ivl := at.Intervals
+	if ivl != nil {
+		ivl.Reset() // a caller-owned recorder may carry a previous attempt
+	} else if c.Observe.IntervalInsts > 0 {
+		ivl = interval.NewRecorder(c.Observe.IntervalInsts)
+	}
+	if ivl != nil {
+		core.SetIntervals(ivl)
+	}
 
 	ctx := at.Ctx
 	if d := c.Timeout(); d > 0 {
@@ -272,6 +290,9 @@ func Exec(s *RunSpec, at Attach) (*Outcome, error) {
 	if tracer != nil {
 		out.Events = tracer.Events()
 		out.EventsTotal = tracer.Total()
+	}
+	if ivl != nil {
+		out.Intervals = ivl.Set()
 	}
 	return out, nil
 }

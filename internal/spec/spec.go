@@ -75,6 +75,9 @@ type Observe struct {
 	EventsBuf int `json:"events_buf,omitempty"`
 	// Attribution accumulates the per-PC H2P misprediction profile.
 	Attribution bool `json:"attribution,omitempty"`
+	// IntervalInsts enables windowed interval telemetry, closing one window
+	// every this many committed instructions (internal/interval).
+	IntervalInsts uint64 `json:"interval_insts,omitempty"`
 }
 
 // RunSpec is the canonical description of one full-core simulation.

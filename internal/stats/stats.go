@@ -26,13 +26,19 @@ type Sim struct {
 	DirMispredicts  uint64 // subset: wrong direction on a conditional branch
 	TgtMispredicts  uint64 // subset: right direction / wrong target
 	BTBMisses       uint64 // taken control flow with no predicted target
+	RASEvents       uint64 // return-address-stack pushes and pops
 	FetchBubbles    uint64 // frontend cycles with no packet delivered
 	RedirectFlushes uint64 // frontend redirects from later pipeline stages
 	HistoryRepairs  uint64 // GHR repair events
 	FetchReplays    uint64 // fetch replays forced by history repair
 
 	// Per-event counters keyed by sub-component (provider attribution).
-	ProviderHits map[string]uint64
+	// ProviderHits counts committed conditional branches whose final
+	// direction the component provided; ProviderMisses the mispredicted
+	// subset — together they give per-provider accuracy, whole-run or
+	// windowed.
+	ProviderHits   map[string]uint64
+	ProviderMisses map[string]uint64
 }
 
 // NewSim returns a Sim with the attribution map pre-allocated.  Every
@@ -41,7 +47,10 @@ type Sim struct {
 // path an observer may be watching concurrently; the zero value remains
 // valid for throwaway aggregation.
 func NewSim() Sim {
-	return Sim{ProviderHits: make(map[string]uint64)}
+	return Sim{
+		ProviderHits:   make(map[string]uint64),
+		ProviderMisses: make(map[string]uint64),
+	}
 }
 
 // AddProviderHit attributes a final prediction to the named sub-component.
@@ -52,6 +61,15 @@ func (s *Sim) AddProviderHit(name string) {
 		s.ProviderHits = make(map[string]uint64)
 	}
 	s.ProviderHits[name]++
+}
+
+// AddProviderMiss attributes a direction misprediction to the named
+// sub-component (the one whose final prediction was wrong).
+func (s *Sim) AddProviderMiss(name string) {
+	if s.ProviderMisses == nil {
+		s.ProviderMisses = make(map[string]uint64)
+	}
+	s.ProviderMisses[name]++
 }
 
 // IPC returns instructions per cycle.

@@ -6,6 +6,7 @@ import (
 
 	"cobra/internal/components"
 	"cobra/internal/compose"
+	"cobra/internal/interval"
 	"cobra/internal/obs"
 	"cobra/internal/pred"
 	"cobra/internal/program"
@@ -116,6 +117,7 @@ type Core struct {
 	metCycles  uint64             // cycles already flushed to met
 	metInsts   uint64             // instructions already flushed to met
 	rprog      *obs.RunProgress   // per-run live-progress sink (same cadence)
+	ivl        *interval.Recorder // windowed telemetry sampler (same cadence)
 }
 
 // NewCore wires a predictor pipeline to a program.
@@ -164,6 +166,12 @@ func (c *Core) SetMetrics(m *obs.Metrics) { c.met = m }
 // behind GET /v1/runs/{id}/progress.
 func (c *Core) SetProgress(p *obs.RunProgress) { c.rprog = p }
 
+// SetIntervals attaches a windowed-telemetry recorder, sampled on the same
+// 8192-cycle cadence as the metrics flush: the recorder closes one window
+// per spec.Observe.IntervalInsts committed instructions, quantized to that
+// cadence so interval sampling adds no new branch to the simulation loop.
+func (c *Core) SetIntervals(r *interval.Recorder) { c.ivl = r }
+
 // flushMetrics pushes the not-yet-reported cycle/instruction deltas and
 // publishes the run's absolute totals to the progress sink.
 func (c *Core) flushMetrics() {
@@ -176,6 +184,9 @@ func (c *Core) flushMetrics() {
 		c.metInsts = c.S.Instructions
 	}
 	c.rprog.Set(c.cycle, c.S.Instructions)
+	if c.ivl != nil {
+		c.ivl.Tick(c.cycle, &c.S, c.bp.C.ReAccepts, c.bp.C.Squashed, c.bp.C.HistRepairs)
+	}
 }
 
 // emitRedirect records a frontend redirect on the observability stream.
@@ -520,6 +531,10 @@ func (c *Core) commit() {
 						} else {
 							c.S.TgtMispredicts++
 						}
+						c.S.AddProviderMiss(prov)
+						if c.ivl != nil {
+							c.ivl.Mispredict(f.pc)
+						}
 					}
 					if c.prof != nil {
 						var ops []obs.Opinion
@@ -608,6 +623,11 @@ func (c *Core) ResetStats() {
 	c.metInsts = 0
 	c.cycleBase = c.cycle
 	c.histRepairBase = c.bp.C.HistRepairs
+	if c.ivl != nil {
+		// Discard warmup windows and restart numbering at the measurement
+		// boundary, so window cycle/instruction bounds line up with S.
+		c.ivl.Rebase(c.cycle, c.bp.C.ReAccepts, c.bp.C.Squashed, c.bp.C.HistRepairs)
+	}
 }
 
 // Run simulates until maxInsts architectural instructions commit (counted
@@ -624,7 +644,7 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 		// Telemetry flush every 8K cycles keeps a live metrics endpoint,
 		// progress line, or SSE progress stream moving through a long run at
 		// negligible cost.
-		if (c.met != nil || c.rprog != nil) && c.cycle&0x1FFF == 0 {
+		if (c.met != nil || c.rprog != nil || c.ivl != nil) && c.cycle&0x1FFF == 0 {
 			c.flushMetrics()
 		}
 		c.step()
@@ -635,8 +655,11 @@ func (c *Core) Run(maxInsts uint64) *stats.Sim {
 	}
 	c.S.Cycles = c.cycle - c.cycleBase
 	c.S.HistoryRepairs = c.bp.C.HistRepairs - c.histRepairBase
-	if c.met != nil || c.rprog != nil {
+	if c.met != nil || c.rprog != nil || c.ivl != nil {
 		c.flushMetrics()
+	}
+	if c.ivl != nil {
+		c.ivl.Finish(c.cycle, &c.S, c.bp.C.ReAccepts, c.bp.C.Squashed, c.bp.C.HistRepairs)
 	}
 	return &c.S
 }

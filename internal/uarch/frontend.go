@@ -287,6 +287,7 @@ scan:
 	}
 	c.rasCps = append(c.rasCps, rasCp{entrySeq: pk.e.Seq(), opSlot: cfi, cp: c.ras.Checkpoint()})
 	if rasRet {
+		c.S.RASEvents++
 		if tgt, ok := c.ras.Pop(); ok {
 			next = tgt
 		} else if view[cfi].TgtValid {
@@ -294,6 +295,7 @@ scan:
 		}
 	}
 	if rasPush != 0 {
+		c.S.RASEvents++
 		c.ras.Push(rasPush)
 	}
 

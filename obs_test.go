@@ -7,9 +7,15 @@ package cobra
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"os"
 	"reflect"
 	"runtime"
 	"testing"
+
+	"cobra/internal/interval"
+	"cobra/internal/spec"
+	"cobra/internal/stats"
 )
 
 const obsTestInsts = 60_000
@@ -208,5 +214,107 @@ func TestSimulateAllocBudget(t *testing.T) {
 	if perInst := float64(got) / insts; perInst > 0.2 {
 		t.Errorf("steady-state simulate: %d allocs over %d insts = %.3f/inst, budget 0.2",
 			got, insts, perInst)
+	}
+}
+
+// TestIntervalAllocBudget extends the phase-budget wall to the interval
+// recorder: once warmed (provider table populated, H2P set membership
+// established, every ring slot's Providers array grown), the sampling path —
+// per-flush Tick, window closes included, plus per-mispredict H2P updates —
+// must allocate NOTHING.  Zero is exact, like the steady-state Predict/Commit
+// budget above: one new allocation per op would dwarf the 1% wall-time
+// budget TestIntervalOverheadGuard enforces.
+func TestIntervalAllocBudget(t *testing.T) {
+	EnableFlightRecorder(0) // the budget must hold with the recorder armed
+	r := interval.NewRecorder(1000)
+	s := stats.NewSim()
+	var cycle uint64
+	step := func() {
+		cycle += 200
+		s.Instructions += 100
+		s.Branches += 20
+		s.Mispredicts += 2
+		s.AddProviderHit("TAGE3")
+		s.AddProviderHit("BIM2")
+		s.AddProviderMiss("TAGE3")
+		r.Mispredict(0x1000 + (cycle/200%64)*4) // 64 recurring branch PCs
+		r.Tick(cycle, &s, s.Instructions/10, s.Instructions/20, s.Instructions/40)
+	}
+	// Warm until the ring has wrapped: every slot has hosted a window with
+	// providers, so later closes reuse backing arrays instead of growing them.
+	for i := 0; i < (4096+64)*10; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(2000, step); avg != 0 {
+		t.Errorf("steady-state interval sampling: %.2f allocs per flush, want exactly 0", avg)
+	}
+	// A full simulation with sampling on stays inside the same per-inst
+	// budget TestSimulateAllocBudget enforces bare: recorder construction is
+	// the only addition, and it is per-run, not per-instruction.
+	sp, err := spec.Preset("tage-l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Workload = "gcc"
+	sp.Insts = 50_000
+	sp.Observe.IntervalInsts = 10_000
+	if _, err := RunSpec(sp); err != nil { // warm the workload + geometry memos
+		t.Fatal(err)
+	}
+	got := allocsOf(func() {
+		if _, err := RunSpec(sp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perInst := float64(got) / float64(sp.Insts); perInst > 0.2 {
+		t.Errorf("simulate with intervals: %d allocs over %d insts = %.3f/inst, budget 0.2",
+			got, sp.Insts, perInst)
+	}
+}
+
+// TestIntervalOverheadGuard is the timing half of the interval budget: with
+// sampling enabled at the default window, a full simulation must cost no
+// more than 1% extra wall time over the same run bare.  Env-gated like
+// TestObserverOverheadGuard because wall-clock ratios are only meaningful on
+// quiet, comparable hardware: set COBRA_BENCH_GUARD=1 to enforce.
+func TestIntervalOverheadGuard(t *testing.T) {
+	if os.Getenv("COBRA_BENCH_GUARD") == "" {
+		t.Skip("set COBRA_BENCH_GUARD=1 to run the timing guard")
+	}
+	mk := func(every uint64) *Spec {
+		sp, err := spec.Preset("tage-l")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp.Workload = "gcc"
+		sp.Insts = 200_000
+		sp.Observe.IntervalInsts = every
+		return sp
+	}
+	minNs := func(sp *Spec) float64 {
+		if _, err := RunSpec(sp); err != nil { // warm the memos
+			t.Fatal(err)
+		}
+		best := math.MaxFloat64
+		for i := 0; i < 5; i++ { // min-of-5 damps scheduler noise
+			ns := float64(testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					if _, err := RunSpec(sp); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}).NsPerOp())
+			if ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	bare := minNs(mk(0))
+	sampled := minNs(mk(interval.DefaultInsts))
+	overhead := (sampled/bare - 1) * 100
+	t.Logf("bare %.0f ns/op, sampled %.0f ns/op: %.2f%% interval-sampling overhead", bare, sampled, overhead)
+	if overhead > 1.0 {
+		t.Errorf("interval sampling costs %.2f%% wall time, budget 1%%", overhead)
 	}
 }
